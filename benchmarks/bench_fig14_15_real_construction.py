@@ -1,0 +1,34 @@
+"""Figures 14 & 15: construction time and storage on the real datasets."""
+
+from repro.bench.experiments import run_fig14_15
+
+SCALE = 1 / 200  # ~2.9k / 5.1k tuples: minutes-not-hours for the full pass
+
+
+def test_fig14_15(run_once):
+    time_table, size_table = run_once(run_fig14_15, scale=SCALE)
+
+    for dataset in ("CovType", "Sep85L"):
+        buc_mb = size_table.value("MB", dataset=dataset, method="BUC")
+        bubst_mb = size_table.value("MB", dataset=dataset, method="BU-BST")
+        cure_mb = size_table.value("MB", dataset=dataset, method="CURE")
+        plus_mb = size_table.value("MB", dataset=dataset, method="CURE+")
+        # Figure 15's ordering: CURE(+) much smaller than both baselines.
+        assert plus_mb <= cure_mb
+        assert cure_mb < bubst_mb / 3
+        assert cure_mb < buc_mb / 3
+
+        # Figure 14's shape: on the sparse CovType, CURE beats BUC (much
+        # smaller output); on the dense Sep85L the paper itself reports
+        # CURE "a little worse" than the baselines (signature sorting), so
+        # only a bounded penalty is asserted there.  The CURE+ pass costs
+        # a small premium everywhere.
+        buc_s = time_table.value("seconds", dataset=dataset, method="BUC")
+        bubst_s = time_table.value("seconds", dataset=dataset, method="BU-BST")
+        cure_s = time_table.value("seconds", dataset=dataset, method="CURE")
+        plus_s = time_table.value("seconds", dataset=dataset, method="CURE+")
+        if dataset == "CovType":
+            assert cure_s < buc_s
+        else:
+            assert cure_s < 1.6 * bubst_s
+        assert plus_s < 2 * cure_s

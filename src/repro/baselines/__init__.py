@@ -1,0 +1,13 @@
+"""Baseline ROLAP cubing methods the paper compares against."""
+
+from repro.baselines.buc import BucCube, BucStats, build_buc_cube
+from repro.baselines.bubst import BuBstCube, BuBstStats, build_bubst_cube
+
+__all__ = [
+    "BuBstCube",
+    "BuBstStats",
+    "BucCube",
+    "BucStats",
+    "build_bubst_cube",
+    "build_buc_cube",
+]

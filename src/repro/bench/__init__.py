@@ -1,0 +1,6 @@
+"""The benchmark harness: one experiment per paper table/figure."""
+
+from repro.bench.results import ExperimentTable
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentTable", "run_experiment"]

@@ -1,0 +1,84 @@
+"""Result tables: the rows/series each paper figure reports.
+
+An :class:`ExperimentTable` is a plain columns-and-rows container with an
+ASCII renderer, so every experiment prints paper-comparable output and the
+integration tests can assert the *shape* of the results (who wins, by
+roughly what factor) without parsing text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """One table of experiment results."""
+
+    experiment: str  # e.g. "Figure 15"
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row) -> None:
+        missing = [column for column in self.columns if column not in row]
+        if missing:
+            raise ValueError(f"row is missing columns {missing}")
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def value(self, column: str, **match):
+        """The single value of ``column`` in the row matching ``match``."""
+        hits = [
+            row[column]
+            for row in self.rows
+            if all(row.get(k) == v for k, v in match.items())
+        ]
+        if len(hits) != 1:
+            raise KeyError(
+                f"{len(hits)} rows match {match} in {self.experiment}"
+            )
+        return hits[0]
+
+    def render(self) -> str:
+        header = [str(c) for c in self.columns]
+        body = [
+            [format_value(row[c]) for c in self.columns] for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for rendered in body:
+            lines.append(
+                "  ".join(v.rjust(w) for v, w in zip(rendered, widths))
+            )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,165 @@
+"""Cube bundles: a self-contained on-disk directory for one cube.
+
+A bundle holds everything needed to answer queries later, in one place:
+
+* the fact relation (heap file) — CURE answers dereference into it,
+* every cube relation (via :meth:`CubeStorage.persist`),
+* ``bundle.json`` — the schema (dimensions with level names, roll-up maps
+  and member names), the aggregate specs, and bookkeeping.
+
+``save_bundle`` / ``open_bundle`` are what the command-line interface
+(:mod:`repro.cli`) builds on; they are equally usable as a library API.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.model import CubeSchema
+from repro.core.storage import CubeStorage
+from repro.hierarchy.dimension import Dimension, Level
+from repro.query.cache import FactCache
+from repro.relational.aggregates import make_aggregates
+from repro.relational.catalog import Catalog
+from repro.relational.table import Table
+
+BUNDLE_META = "bundle.json"
+FACT_RELATION = "fact"
+CUBE_PREFIX = "cube"
+
+
+def _dimension_to_json(dimension: Dimension) -> dict:
+    member_names = None
+    if dimension.member_names is not None:
+        member_names = [
+            list(level_names) if level_names is not None else None
+            for level_names in dimension.member_names
+        ]
+    return {
+        "name": dimension.name,
+        "levels": [
+            {"name": level.name, "cardinality": level.cardinality}
+            for level in dimension.levels
+        ],
+        "base_maps": [list(m) for m in dimension.base_maps],
+        "parents": [list(p) for p in dimension.parents],
+        "member_names": member_names,
+    }
+
+
+def _dimension_from_json(payload: dict) -> Dimension:
+    member_names = None
+    if payload.get("member_names") is not None:
+        member_names = tuple(
+            tuple(names) if names is not None else None
+            for names in payload["member_names"]
+        )
+    return Dimension(
+        payload["name"],
+        tuple(
+            Level(entry["name"], entry["cardinality"])
+            for entry in payload["levels"]
+        ),
+        tuple(tuple(m) for m in payload["base_maps"]),
+        tuple(tuple(p) for p in payload["parents"]),
+        member_names,
+    )
+
+
+def schema_to_json(schema: CubeSchema) -> dict:
+    return {
+        "dimensions": [
+            _dimension_to_json(dimension) for dimension in schema.dimensions
+        ],
+        "aggregates": [
+            [spec.function.name, spec.measure_index]
+            for spec in schema.aggregates
+        ],
+        "n_measures": schema.n_measures,
+    }
+
+
+def schema_from_json(payload: dict) -> CubeSchema:
+    return CubeSchema(
+        tuple(_dimension_from_json(d) for d in payload["dimensions"]),
+        make_aggregates(
+            *[(name, index) for name, index in payload["aggregates"]]
+        ),
+        payload["n_measures"],
+    )
+
+
+def save_bundle(
+    directory: str | Path,
+    schema: CubeSchema,
+    fact: Table,
+    storage: CubeStorage,
+    extra: dict | None = None,
+) -> Path:
+    """Write a complete cube bundle; the directory must not already hold one."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    meta_path = root / BUNDLE_META
+    if meta_path.exists():
+        raise FileExistsError(f"{root} already contains a cube bundle")
+    catalog = Catalog(root)
+    try:
+        heap = catalog.create(FACT_RELATION, schema.fact_schema)
+        heap.append_many(fact.rows)
+        heap.flush()
+        storage.persist(catalog, prefix=CUBE_PREFIX)
+    finally:
+        catalog.close()
+    meta = {"schema": schema_to_json(schema), "extra": extra or {}}
+    meta_path.write_text(json.dumps(meta))
+    return root
+
+
+@dataclass
+class CubeBundle:
+    """An opened bundle: schema, storage, and a fact cache factory."""
+
+    root: Path
+    schema: CubeSchema
+    storage: CubeStorage
+    catalog: Catalog
+    extra: dict
+
+    def fact_cache(self, fraction: float = 1.0, seed: int = 7) -> FactCache:
+        return FactCache(
+            self.schema,
+            heap=self.catalog.open(FACT_RELATION),
+            fraction=fraction,
+            seed=seed,
+        )
+
+    @property
+    def fact_row_count(self) -> int:
+        return len(self.catalog.open(FACT_RELATION))
+
+    def close(self) -> None:
+        self.catalog.close()
+
+    def __enter__(self) -> "CubeBundle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_bundle(directory: str | Path) -> CubeBundle:
+    """Open a bundle previously written by :func:`save_bundle`."""
+    root = Path(directory)
+    meta_path = root / BUNDLE_META
+    if not meta_path.exists():
+        raise FileNotFoundError(f"{root} does not contain a cube bundle")
+    meta = json.loads(meta_path.read_text())
+    schema = schema_from_json(meta["schema"])
+    catalog = Catalog(root)
+    storage = CubeStorage.load(catalog, schema, prefix=CUBE_PREFIX)
+    storage.row_resolver = lambda rowid: schema.dim_values(
+        catalog.open(FACT_RELATION).read_row(rowid)
+    )
+    return CubeBundle(root, schema, storage, catalog, meta.get("extra", {}))

@@ -1,0 +1,258 @@
+"""Command-line interface for building and querying CURE cubes.
+
+::
+
+    python -m repro build --csv sales.csv --spec spec.json --out cube_dir
+    python -m repro describe --cube cube_dir
+    python -m repro nodes --cube cube_dir
+    python -m repro query --cube cube_dir --group-by Region.country,Product
+    python -m repro query --cube cube_dir --group-by Region.country \
+        --where Region.country=Greece,France --limit 20
+
+The spec file describes how raw CSV columns map to dimensions and
+measures::
+
+    {
+      "dimensions": [
+        {"name": "Region", "levels": ["city", "country"]},
+        {"name": "Product", "levels": ["sku", "brand"]}
+      ],
+      "measures": ["quantity", {"field": "price", "scale": 100}],
+      "aggregates": [["sum", 0], ["sum", 1], ["count", 0]]   // optional
+    }
+
+``--group-by`` lists ``Dimension.Level`` items (a bare ``Dimension`` means
+its base level); unlisted dimensions are aggregated away.  ``--where``
+restricts a grouped dimension to the named members.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bundle import open_bundle, save_bundle
+from repro.core.variants import VARIANTS
+from repro.datasets.loader import DimensionSpec, MeasureSpec, load_csv
+from repro.lattice.node import CubeNode
+from repro.query import DimensionSlice, answer_cure_sliced
+
+
+def _parse_spec(path: str) -> tuple[list[DimensionSpec], list[MeasureSpec], tuple | None]:
+    payload = json.loads(Path(path).read_text())
+    dimensions = [
+        DimensionSpec.of(entry["name"], *entry["levels"])
+        for entry in payload["dimensions"]
+    ]
+    measures = []
+    for entry in payload["measures"]:
+        if isinstance(entry, str):
+            measures.append(MeasureSpec.of(entry))
+        else:
+            measures.append(
+                MeasureSpec.of(entry["field"], entry.get("scale", 1))
+            )
+    aggregates = None
+    if "aggregates" in payload:
+        aggregates = tuple(
+            (name, index) for name, index in payload["aggregates"]
+        )
+    return dimensions, measures, aggregates
+
+
+def cmd_build(args) -> int:
+    dimensions, measures, aggregates = _parse_spec(args.spec)
+    loaded = load_csv(args.csv, dimensions, measures, aggregates)
+    config = VARIANTS[args.variant]
+    if args.pool:
+        config = config.with_pool(args.pool)
+    if args.min_count > 1:
+        config = config.with_min_count(args.min_count)
+    result, _plus = config.build(loaded.schema, table=loaded.table)
+    report = result.storage.size_report()
+    save_bundle(
+        args.out,
+        loaded.schema,
+        loaded.table,
+        result.storage,
+        extra={"variant": args.variant, "source_csv": str(args.csv)},
+    )
+    print(f"built {args.variant} cube over {len(loaded.table):,} rows "
+          f"in {result.stats.elapsed_seconds:.2f}s")
+    print(f"  lattice nodes: {loaded.schema.enumerator.n_nodes}")
+    print(f"  NT/TT/CAT: {report.n_nt:,}/{report.n_tt:,}/{report.n_cat:,}")
+    print(f"  logical size: {report.total_mb:.3f} MB -> {args.out}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    with open_bundle(args.cube) as bundle:
+        print(f"cube bundle at {bundle.root}")
+        print(f"  variant: {bundle.extra.get('variant', '?')}")
+        print(f"  fact rows: {bundle.fact_row_count:,}")
+        for dimension in bundle.schema.dimensions:
+            chain = " -> ".join(
+                f"{level.name}({level.cardinality})"
+                for level in dimension.levels
+            )
+            print(f"  dimension {dimension.name}: {chain}")
+        names = ", ".join(spec.name for spec in bundle.schema.aggregates)
+        print(f"  aggregates: {names}")
+        print(bundle.storage.describe())
+    return 0
+
+
+def cmd_nodes(args) -> int:
+    with open_bundle(args.cube) as bundle:
+        schema = bundle.schema
+        shown = 0
+        for node in schema.lattice.nodes():
+            print(f"{schema.node_id(node):6d}  {node.label(schema.dimensions)}")
+            shown += 1
+            if args.limit and shown >= args.limit:
+                remaining = schema.enumerator.n_nodes - shown
+                if remaining:
+                    print(f"… {remaining} more (raise --limit)")
+                break
+    return 0
+
+
+def _parse_group_by(schema, text: str) -> CubeNode:
+    levels = [dimension.all_level for dimension in schema.dimensions]
+    by_name = {d.name: (i, d) for i, d in enumerate(schema.dimensions)}
+    for item in filter(None, (part.strip() for part in text.split(","))):
+        name, _sep, level_name = item.partition(".")
+        if name not in by_name:
+            raise SystemExit(
+                f"unknown dimension {name!r}; "
+                f"known: {', '.join(by_name)}"
+            )
+        index, dimension = by_name[name]
+        levels[index] = (
+            dimension.level_index(level_name) if level_name else 0
+        )
+    return CubeNode(tuple(levels))
+
+
+def _parse_where(schema, bundle, clauses: list[str], node: CubeNode):
+    slices = []
+    by_name = {d.name: (i, d) for i, d in enumerate(schema.dimensions)}
+    for clause in clauses or []:
+        target, _sep, members_text = clause.partition("=")
+        if not members_text:
+            raise SystemExit(f"bad --where clause {clause!r} (Dim.Level=v1,v2)")
+        name, _sep, level_name = target.partition(".")
+        if name not in by_name:
+            raise SystemExit(f"unknown dimension {name!r} in --where")
+        index, dimension = by_name[name]
+        level = dimension.level_index(level_name) if level_name else 0
+        members = set()
+        for raw in members_text.split(","):
+            code = _member_code(dimension, level, raw.strip())
+            members.add(code)
+        slices.append(DimensionSlice.of(index, level, members))
+    return slices
+
+
+def _member_code(dimension, level: int, value: str) -> int:
+    if dimension.member_names is not None:
+        names = dimension.member_names[level]
+        if names is not None and value in names:
+            return names.index(value)
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(
+            f"{value!r} is not a member of "
+            f"{dimension.name}.{dimension.level(level).name}"
+        ) from None
+
+
+def cmd_query(args) -> int:
+    with open_bundle(args.cube) as bundle:
+        schema = bundle.schema
+        node = _parse_group_by(schema, args.group_by)
+        slices = _parse_where(schema, bundle, args.where, node)
+        cache = bundle.fact_cache(fraction=args.cache)
+        answer = answer_cure_sliced(
+            bundle.storage, cache, node, slices, indices=None
+        )
+        answer.sort()
+        grouping = node.grouping_dims(schema.dimensions)
+        header = [
+            f"{schema.dimensions[d].name}."
+            f"{schema.dimensions[d].level(node.levels[d]).name}"
+            for d in grouping
+        ] + [spec.name for spec in schema.aggregates]
+        print("\t".join(header))
+        shown = 0
+        for dims, aggregates in answer:
+            rendered = [
+                schema.dimensions[d].member_name(node.levels[d], code)
+                for d, code in zip(grouping, dims)
+            ]
+            print("\t".join(rendered + [str(v) for v in aggregates]))
+            shown += 1
+            if args.limit and shown >= args.limit:
+                remaining = len(answer) - shown
+                if remaining:
+                    print(f"… {remaining} more rows (raise --limit)")
+                break
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Build and query CURE cubes.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build a cube from a CSV file")
+    build.add_argument("--csv", required=True)
+    build.add_argument("--spec", required=True, help="JSON mapping spec")
+    build.add_argument("--out", required=True, help="bundle directory")
+    build.add_argument(
+        "--variant", default="CURE+", choices=sorted(VARIANTS)
+    )
+    build.add_argument("--pool", type=int, default=0,
+                       help="signature pool capacity (0 = variant default)")
+    build.add_argument("--min-count", type=int, default=1,
+                       help="iceberg support threshold")
+    build.set_defaults(handler=cmd_build)
+
+    describe = commands.add_parser("describe", help="summarize a cube bundle")
+    describe.add_argument("--cube", required=True)
+    describe.set_defaults(handler=cmd_describe)
+
+    nodes = commands.add_parser("nodes", help="list the lattice's nodes")
+    nodes.add_argument("--cube", required=True)
+    nodes.add_argument("--limit", type=int, default=40)
+    nodes.set_defaults(handler=cmd_nodes)
+
+    query = commands.add_parser("query", help="answer one node query")
+    query.add_argument("--cube", required=True)
+    query.add_argument(
+        "--group-by", required=True,
+        help="comma list of Dimension.Level (bare Dimension = base level)",
+    )
+    query.add_argument(
+        "--where", action="append",
+        help="Dimension.Level=member[,member…] (repeatable)",
+    )
+    query.add_argument("--limit", type=int, default=50)
+    query.add_argument("--cache", type=float, default=1.0,
+                       help="fact cache fraction in [0, 1]")
+    query.set_defaults(handler=cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

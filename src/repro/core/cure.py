@@ -1,0 +1,551 @@
+"""The CURE algorithm (Figure 13 of the paper) and its execution shapes.
+
+``CureBuilder`` implements the recursion of ``ExecutePlan``/``FollowEdge``:
+
+* a **solid edge** extends the grouping set with a further dimension at one
+  of its entry levels (rule 1);
+* a **dashed edge** re-sorts the current segment at the next finer level of
+  the most recently added dimension (rule 2 / modified rule 2);
+* a segment consisting of a single original fact tuple is a **trivial
+  tuple**: its row-id goes to the current node's TT relation and the
+  recursion is pruned (the whole plan sub-tree shares that TT);
+* every other aggregated tuple becomes a **signature** in the bounded pool,
+  whose flushes classify NTs vs CATs (Section 5.2).
+
+The same executor drives all plan shapes: P3 (hierarchical CURE), the flat
+P1 (FCURE and the flat baselines), and P2 (the "levels as dimensions"
+ablation) — a shape only decides which levels solid edges introduce and
+where dashed edges descend.
+
+``build_cube`` is the top-level Algorithm CURE: it takes the in-memory fast
+path when the fact relation fits the (simulated) memory budget, and
+otherwise runs the external-partitioning pipeline of Section 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import CubeSchema
+from repro.core.partition import (
+    PairPartitionDecision,
+    PartitionDecision,
+    load_coarse_working_set,
+    partition_relation,
+    partition_relation_pair,
+    select_partition_level,
+    select_partition_pair,
+)
+from repro.core.segments import aggregate_ufuncs, reduce_segments
+from repro.core.signature import PoolStats, Signature, SignaturePool
+from repro.core.storage import CubeStorage
+from repro.core.workingset import WorkingSet
+from repro.relational.engine import Engine
+from repro.relational.memory import MemoryBudgetExceeded
+from repro.relational.sortops import SortStats
+from repro.relational.table import Table
+
+
+@dataclass
+class BuildStats:
+    """Machine-independent construction cost counters."""
+
+    nodes_aggregated: int = 0
+    tt_written: int = 0
+    signatures_emitted: int = 0
+    sort: SortStats = field(default_factory=SortStats)
+    fact_read_passes: int = 0
+    fact_write_passes: int = 0
+    partitions_created: int = 0
+    partitioned: bool = False
+    elapsed_seconds: float = 0.0
+
+
+# -- execution shapes -----------------------------------------------------------
+
+
+class HierarchicalShape:
+    """CURE's P3 shape: entry at top levels, dashed descent per hierarchy.
+
+    ``base_levels`` stops descent above a dimension's base level — the
+    ``baseLevel`` array of Figure 13, used by the coarse-node phase of
+    partitioned construction.
+    """
+
+    def __init__(
+        self, schema: CubeSchema, base_levels: tuple[int, ...] | None = None
+    ) -> None:
+        self.base_levels = base_levels or tuple(0 for _ in schema.dimensions)
+        self._entries: list[tuple[int, ...]] = []
+        self._dashed: list[list[tuple[int, ...]]] = []
+        for d, dimension in enumerate(schema.dimensions):
+            floor = self.base_levels[d]
+            self._entries.append(
+                tuple(
+                    level
+                    for level in dimension.entry_levels()
+                    if level >= floor
+                )
+            )
+            self._dashed.append(
+                [
+                    tuple(
+                        child
+                        for child in dimension.dashed_children(level)
+                        if child >= floor
+                    )
+                    for level in range(dimension.n_levels_with_all)
+                ]
+            )
+
+    def entry_levels(self, dim: int) -> tuple[int, ...]:
+        return self._entries[dim]
+
+    def dashed_children(self, dim: int, level: int) -> tuple[int, ...]:
+        return self._dashed[dim][level]
+
+
+class FlatShape:
+    """P1: base levels only, no dashed edges (BUC, BU-BST, FCURE)."""
+
+    def __init__(self, schema: CubeSchema) -> None:
+        self._n = schema.n_dimensions
+
+    def entry_levels(self, dim: int) -> tuple[int, ...]:
+        return (0,)
+
+    def dashed_children(self, dim: int, level: int) -> tuple[int, ...]:
+        return ()
+
+
+class LevelsAsDimensionsShape:
+    """P2: every level is an independent entry; no dashed edges.
+
+    Each node is reached by one solid path that picks a single level per
+    participating dimension, so the plan height stays D but every edge
+    pays a from-scratch sort — the inefficiency Section 3.1 quantifies.
+    """
+
+    def __init__(self, schema: CubeSchema) -> None:
+        self._dimensions = schema.dimensions
+
+    def entry_levels(self, dim: int) -> tuple[int, ...]:
+        return tuple(range(self._dimensions[dim].n_levels - 1, -1, -1))
+
+    def dashed_children(self, dim: int, level: int) -> tuple[int, ...]:
+        return ()
+
+
+# -- the executor ----------------------------------------------------------------
+
+
+class CureBuilder:
+    """Runs the BUC-style recursion over a working set, emitting to storage."""
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        storage: CubeStorage,
+        pool: SignaturePool,
+        shape,
+        min_count: int = 1,
+        stats: BuildStats | None = None,
+    ) -> None:
+        self.schema = schema
+        self.storage = storage
+        self.pool = pool
+        self.shape = shape
+        self.min_count = min_count
+        self.stats = stats or BuildStats()
+        self._factors = schema.enumerator.factors
+        self._node_levels = [
+            dimension.all_level for dimension in schema.dimensions
+        ]
+        self._node_id = schema.enumerator.node_id(schema.lattice.all_node)
+        self._working: WorkingSet | None = None
+
+    # -- public entry points --------------------------------------------------
+
+    def run(self, working: WorkingSet) -> None:
+        """``ExecutePlan`` from the root: the all-in-memory case."""
+        if not len(working):
+            return
+        self._attach(working)
+        positions = np.arange(len(working), dtype=np.intp)
+        self._execute(
+            positions,
+            working.total_weight,
+            working.aggregate(positions),
+            working.min_rowid(positions),
+            0,
+            None,
+        )
+
+    def run_partition(self, working: WorkingSet, level: int) -> None:
+        """``FollowEdge(partition, 0, L)``: one partition's sub-cubes.
+
+        Constructs every node whose grouping attributes include the first
+        dimension at level ≤ ``level`` (observation 1 of Section 4); the
+        ∅-rooted rest is the coarse-node phase's job.
+        """
+        if not len(working):
+            return
+        self._attach(working)
+        positions = np.arange(len(working), dtype=np.intp)
+        self._follow_edge(positions, 0, level, 1)
+
+    def run_partition_pair(
+        self, working: WorkingSet, level0: int, level1: int
+    ) -> None:
+        """Pair-partitioning phase: nodes with dims 0 and 1 both present
+        at levels ≤ (L, M).
+
+        The recursion descends dimension 0's chain in an outer loop and,
+        per segment, enters dimension 1 at level M (whence the standard
+        recursion covers its descent and the remaining dimensions).  The
+        segment itself — dimension 0 alone — is *not* a sound node for
+        pair partitions, so nothing is emitted at that granularity; its
+        nodes belong to the N2 phase.
+        """
+        if not len(working):
+            return
+        self._attach(working)
+        positions = np.arange(len(working), dtype=np.intp)
+        self._pair_descend(positions, level0, level1)
+
+    def _pair_descend(
+        self, positions: np.ndarray, level0: int, level1: int
+    ) -> None:
+        working = self._working
+        keys = working.level_keys(0, level0, positions)
+        self.stats.sort.keys_sorted += len(keys)
+        self.stats.sort.comparison_sorts += 1
+        batch = reduce_segments(working, positions, keys, self._ufuncs)
+        old_level = self._node_levels[0]
+        self._node_levels[0] = level0
+        self._node_id += self._factors[0] * (level0 - old_level)
+        for i in range(len(batch)):
+            seg_positions = batch.positions_of(i)
+            self._follow_edge(seg_positions, 1, level1, 2)
+            for child in self.shape.dashed_children(0, level0):
+                self._pair_descend(seg_positions, child, level1)
+        self._node_levels[0] = old_level
+        self._node_id += self._factors[0] * (old_level - level0)
+
+    def finish(self) -> None:
+        """Final pool flush (line 22 of Algorithm CURE)."""
+        self.pool.flush()
+
+    def _attach(self, working: WorkingSet) -> None:
+        self._working = working
+        self._ufuncs = aggregate_ufuncs(self.schema)
+
+    # -- recursion ---------------------------------------------------------------
+    #
+    # Aggregates flow *down*: the parent's FollowEdge computes each child
+    # segment's aggregate vector with one reduceat per aggregate column,
+    # so ExecutePlan never re-reduces its own input.
+
+    def _execute(
+        self,
+        positions: np.ndarray,
+        weight: int,
+        aggregates: tuple[int, ...],
+        min_rowid: int,
+        next_dim: int,
+        entered: int | None,
+    ) -> None:
+        if weight == 1:
+            # A trivial tuple (weights are >= 1, so weight 1 means one
+            # original fact tuple): store the row-id at this least detailed
+            # node and prune — the whole plan sub-tree shares it.
+            if self.min_count <= 1:
+                self.storage.write_tt(self._node_id, min_rowid)
+                self.stats.tt_written += 1
+            return
+        if weight < self.min_count:
+            # Iceberg pruning: descendants only see subsets, so nothing
+            # below can reach the support threshold either.
+            return
+        self.pool.add(Signature(aggregates, min_rowid, self._node_id))
+        self.stats.nodes_aggregated += 1
+        self.stats.signatures_emitted += 1
+        for d in range(next_dim, self.schema.n_dimensions):
+            for entry in self.shape.entry_levels(d):
+                self._follow_edge(positions, d, entry, d + 1)
+        if entered is not None:
+            current_level = self._node_levels[entered]
+            for child in self.shape.dashed_children(entered, current_level):
+                self._follow_edge(positions, entered, child, next_dim)
+
+    def _follow_edge(
+        self,
+        positions: np.ndarray,
+        dim: int,
+        level: int,
+        next_dim_after: int,
+    ) -> None:
+        working = self._working
+        keys = working.level_keys(dim, level, positions)
+        self.stats.sort.keys_sorted += len(keys)
+        self.stats.sort.comparison_sorts += 1
+        batch = reduce_segments(working, positions, keys, self._ufuncs)
+
+        old_level = self._node_levels[dim]
+        self._node_levels[dim] = level
+        self._node_id += self._factors[dim] * (level - old_level)
+        bounds = batch.bounds
+        sorted_positions = batch.sorted_positions
+        for i, aggregates in enumerate(batch.aggregates):
+            self._execute(
+                sorted_positions[bounds[i] : bounds[i + 1]],
+                batch.weights[i],
+                aggregates,
+                batch.rowids[i],
+                next_dim_after,
+                dim,
+            )
+        self._node_levels[dim] = old_level
+        self._node_id += self._factors[dim] * (old_level - level)
+
+
+# -- Algorithm CURE (top level) ----------------------------------------------------
+
+
+@dataclass
+class CubeResult:
+    """Everything a construction run produces."""
+
+    storage: CubeStorage
+    stats: BuildStats
+    pool_stats: PoolStats
+    decision: PartitionDecision | PairPartitionDecision | None = None
+
+
+def build_cube(
+    schema: CubeSchema,
+    *,
+    table: Table | None = None,
+    engine: Engine | None = None,
+    relation: str | None = None,
+    pool_capacity: int | None = 1_000_000,
+    min_count: int = 1,
+    dr_mode: bool = False,
+    flat: bool = False,
+    shape=None,
+) -> CubeResult:
+    """Construct a CURE cube over an in-memory table or a named relation.
+
+    When ``engine`` and ``relation`` are given and the relation does not
+    fit the engine's memory budget, the external-partitioning pipeline of
+    Section 4 runs; otherwise the whole input is processed in memory.
+
+    ``pool_capacity=None`` gives the idealized unbounded signature pool.
+    ``min_count > 1`` builds an iceberg cube.  ``flat=True`` builds only
+    the base-level (2^D) nodes — the FCURE variant.
+    """
+    if (table is None) == (engine is None or relation is None):
+        raise ValueError("provide either `table` or both `engine` and `relation`")
+
+    storage = CubeStorage(schema, dr_mode=dr_mode, flat=flat)
+    stats = BuildStats()
+    pool = SignaturePool(
+        pool_capacity,
+        on_nt=storage.write_nt,
+        on_cats=storage.write_cat_run,
+        on_statistics=storage.decide_format,
+    )
+    if shape is None:
+        shape = FlatShape(schema) if flat else HierarchicalShape(schema)
+
+    started = time.perf_counter()
+    decision: PartitionDecision | None = None
+
+    if table is not None:
+        _build_in_memory(schema, storage, pool, shape, min_count, stats, table)
+    else:
+        heap = engine.relation(relation)
+        pool_bytes = (
+            SignaturePool.size_bytes(pool_capacity, schema.n_aggregates)
+            if pool_capacity
+            else 0
+        )
+        if engine.memory.fits(heap.size_bytes + pool_bytes):
+            stats.fact_read_passes += 1
+            with engine.load(relation) as loaded:
+                _build_in_memory(
+                    schema, storage, pool, shape, min_count, stats, loaded
+                )
+        else:
+            if flat or not isinstance(shape, HierarchicalShape):
+                raise ValueError(
+                    "external partitioning is implemented for the "
+                    "hierarchical (P3) shape"
+                )
+            decision = _build_partitioned(
+                schema,
+                storage,
+                pool,
+                min_count,
+                stats,
+                engine,
+                relation,
+                pool_bytes,
+            )
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return CubeResult(storage, stats, pool.stats, decision)
+
+
+def _build_in_memory(
+    schema: CubeSchema,
+    storage: CubeStorage,
+    pool: SignaturePool,
+    shape,
+    min_count: int,
+    stats: BuildStats,
+    table: Table,
+) -> None:
+    working = WorkingSet.from_fact_table(schema, table)
+    storage.fact_row_count = len(table)
+    storage.row_resolver = lambda rowid: schema.dim_values(table[rowid])
+    builder = CureBuilder(schema, storage, pool, shape, min_count, stats)
+    builder.run(working)
+    builder.finish()
+
+
+def _build_partitioned(
+    schema: CubeSchema,
+    storage: CubeStorage,
+    pool: SignaturePool,
+    min_count: int,
+    stats: BuildStats,
+    engine: Engine,
+    relation: str,
+    pool_bytes: int,
+) -> PartitionDecision:
+    """The Section 4 pipeline: partition once, then two construction phases."""
+    if not schema.all_distributive:
+        raise ValueError(
+            "external partitioning requires distributive aggregates "
+            "(observation 3 of Section 4 excludes holistic functions)"
+        )
+    heap = engine.relation(relation)
+    storage.fact_row_count = len(heap)
+    storage.row_resolver = lambda rowid: schema.dim_values(heap.read_row(rowid))
+
+    pool_token = engine.memory.reserve(pool_bytes, what="signature pool")
+    try:
+        try:
+            decision = select_partition_level(engine, relation, schema)
+        except MemoryBudgetExceeded:
+            # The "rare case" of Section 4: no single level works — fall
+            # back to partitioning on pairs of dimensions.
+            return _build_pair_partitioned(
+                schema, storage, pool, min_count, stats, engine, relation
+            )
+        storage.partition_level = decision.level
+        partitions, coarse_name = partition_relation(
+            engine, relation, schema, decision, stats
+        )
+
+        # Phase 1: every node containing dimension 0 at level <= L.
+        partition_shape = HierarchicalShape(schema)
+        builder = CureBuilder(
+            schema, storage, pool, partition_shape, min_count, stats
+        )
+        stats.fact_read_passes += 1  # loading the partitions re-reads R once
+        for name in partitions:
+            with engine.load(name) as loaded:
+                working = WorkingSet.from_partition_table(schema, loaded)
+                builder.run_partition(working, decision.level)
+
+        # Phase 2: everything else, from the coarse node N (reloaded from
+        # disk — it was persisted during the partition pass, line 19 of
+        # Figure 13).
+        base_levels = [0] * schema.n_dimensions
+        base_levels[0] = decision.level + 1
+        coarse_shape = HierarchicalShape(schema, tuple(base_levels))
+        coarse, release_coarse = load_coarse_working_set(
+            engine, coarse_name, schema
+        )
+        try:
+            coarse_builder = CureBuilder(
+                schema, storage, pool, coarse_shape, min_count, stats
+            )
+            coarse_builder.run(coarse)
+            coarse_builder.finish()
+        finally:
+            release_coarse()
+        return decision
+    finally:
+        engine.memory.release(pool_token)
+
+
+def _build_pair_partitioned(
+    schema: CubeSchema,
+    storage: CubeStorage,
+    pool: SignaturePool,
+    min_count: int,
+    stats: BuildStats,
+    engine: Engine,
+    relation: str,
+):
+    """Pair-partitioning pipeline: partitions + two coarse nodes.
+
+    Three disjoint, exhaustive phases (see
+    :class:`repro.core.partition.PairPartitionDecision`): the pair-sound
+    partitions cover nodes with both leading dimensions present at levels
+    ≤ (L, M); coarse node N1 covers everything with dimension 0 above L or
+    absent; coarse node N2 covers dimension 0 present ≤ L with dimension 1
+    above M or absent.
+    """
+    decision = select_partition_pair(engine, relation, schema)
+    storage.partition_level = decision.level0
+    storage.partition_level2 = decision.level1
+    partitions, n1_name, n2_name = partition_relation_pair(
+        engine, relation, schema, decision, stats
+    )
+
+    # Phase P: dims 0 and 1 both present at levels <= (L, M).
+    pair_shape = HierarchicalShape(schema)
+    builder = CureBuilder(schema, storage, pool, pair_shape, min_count, stats)
+    stats.fact_read_passes += 1
+    for name in partitions:
+        with engine.load(name) as loaded:
+            working = WorkingSet.from_partition_table(schema, loaded)
+            builder.run_partition_pair(
+                working, decision.level0, decision.level1
+            )
+
+    # Phase N1: dimension 0 at levels [L+1, ALL].
+    base_levels = [0] * schema.n_dimensions
+    base_levels[0] = decision.level0 + 1
+    n1_shape = HierarchicalShape(schema, tuple(base_levels))
+    coarse1, release1 = load_coarse_working_set(engine, n1_name, schema)
+    try:
+        CureBuilder(schema, storage, pool, n1_shape, min_count, stats).run(
+            coarse1
+        )
+    finally:
+        release1()
+
+    # Phase N2: dimension 0 present at levels <= L, dimension 1 at
+    # levels [M+1, ALL].
+    base_levels = [0] * schema.n_dimensions
+    base_levels[1] = decision.level1 + 1
+    n2_shape = HierarchicalShape(schema, tuple(base_levels))
+    coarse2, release2 = load_coarse_working_set(engine, n2_name, schema)
+    try:
+        n2_builder = CureBuilder(
+            schema, storage, pool, n2_shape, min_count, stats
+        )
+        n2_builder.run_partition(coarse2, decision.level0)
+    finally:
+        release2()
+
+    pool.flush()
+    return decision

@@ -1,0 +1,151 @@
+"""The cube schema: dimensions, measures, aggregates, and the fact layout.
+
+A :class:`CubeSchema` fixes everything CURE needs to know about its input:
+the ordered dimensions (order matters — BUC's decreasing-cardinality
+heuristic is applied here), how many measure columns the fact table
+carries, and which aggregate functions the cube materializes over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.hierarchy.dimension import Dimension
+from repro.lattice.lattice import CubeLattice
+from repro.lattice.node import CubeNode, NodeEnumerator
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+
+@dataclass(frozen=True)
+class CubeSchema:
+    """Dimensions + measures + aggregates: the static shape of one cube.
+
+    The fact table layout implied by a schema is ``D`` INT32 dimension-code
+    columns (base-level member codes) followed by ``n_measures`` INT64
+    measure columns.
+    """
+
+    dimensions: tuple[Dimension, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    n_measures: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise ValueError("a cube schema needs at least one dimension")
+        if not self.aggregates:
+            raise ValueError("a cube schema needs at least one aggregate")
+        if self.n_measures < 1:
+            raise ValueError("a cube schema needs at least one measure")
+        for spec in self.aggregates:
+            if not 0 <= spec.measure_index < self.n_measures:
+                raise ValueError(
+                    f"aggregate {spec.name} references measure "
+                    f"{spec.measure_index}, but only {self.n_measures} exist"
+                )
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def n_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def n_aggregates(self) -> int:
+        """The paper's ``Y``: width of the aggregate vector."""
+        return len(self.aggregates)
+
+    @cached_property
+    def lattice(self) -> CubeLattice:
+        return CubeLattice(self.dimensions)
+
+    @cached_property
+    def enumerator(self) -> NodeEnumerator:
+        return self.lattice.enumerator
+
+    @property
+    def all_distributive(self) -> bool:
+        """True when every aggregate can be merged from partials."""
+        return all(spec.distributive for spec in self.aggregates)
+
+    # -- fact table layout -------------------------------------------------
+
+    @cached_property
+    def fact_schema(self) -> TableSchema:
+        """Schema of the fact table: dimension codes then measures."""
+        columns = [
+            Column(f"d_{dimension.name}", ColumnType.INT32)
+            for dimension in self.dimensions
+        ]
+        columns += [
+            Column(f"m_{index}", ColumnType.INT64)
+            for index in range(self.n_measures)
+        ]
+        return TableSchema(tuple(columns))
+
+    @cached_property
+    def partition_schema(self) -> TableSchema:
+        """Fact layout plus the original row-id (partitions keep R-rowids)."""
+        return TableSchema(
+            self.fact_schema.columns + (Column("r_rowid", ColumnType.INT64),)
+        )
+
+    def dim_values(self, fact_row: tuple) -> tuple[int, ...]:
+        return fact_row[: self.n_dimensions]
+
+    def measures(self, fact_row: tuple) -> tuple[int, ...]:
+        return fact_row[self.n_dimensions : self.n_dimensions + self.n_measures]
+
+    # -- node helpers -------------------------------------------------------
+
+    def node_id(self, node: CubeNode) -> int:
+        return self.enumerator.node_id(node)
+
+    def decode_node(self, node_id: int) -> CubeNode:
+        return self.enumerator.decode(node_id)
+
+    def project_to_node(
+        self, base_codes: tuple[int, ...], node: CubeNode
+    ) -> tuple[int, ...]:
+        """Roll a base-code vector up to a node's levels.
+
+        Dimensions at ALL are omitted, so the result has one value per
+        grouping dimension — the shape of a cube tuple at that node.
+        """
+        projected = []
+        for d, dimension in enumerate(self.dimensions):
+            level = node.levels[d]
+            if level == dimension.all_level:
+                continue
+            projected.append(dimension.code_at(base_codes[d], level))
+        return tuple(projected)
+
+    def count_aggregate_index(self) -> int | None:
+        """Position of a COUNT aggregate, if the schema carries one.
+
+        Iceberg count queries (Section 7) need it; ``None`` means the cube
+        cannot answer them.
+        """
+        for index, spec in enumerate(self.aggregates):
+            if spec.function.name == "count":
+                return index
+        return None
+
+    def ordered_by_cardinality(self) -> "CubeSchema":
+        """A schema with dimensions reordered by decreasing base cardinality.
+
+        This is BUC's heuristic (Section 4 of the paper notes it also makes
+        CURE's partitioning more likely to find a proper level ``L``).
+        Fact tables built for the original order must be permuted
+        accordingly by the caller.
+        """
+        order = sorted(
+            range(self.n_dimensions),
+            key=lambda d: -self.dimensions[d].base_cardinality,
+        )
+        return CubeSchema(
+            tuple(self.dimensions[d] for d in order),
+            self.aggregates,
+            self.n_measures,
+        )

@@ -1,0 +1,622 @@
+"""External partitioning (Section 4 of the paper).
+
+When the fact table exceeds the memory budget, CURE:
+
+1. selects the **maximum** level ``L`` of the first dimension such that
+   (a) partitions sound on ``A_L`` fit in memory — feasible iff the
+   heaviest single member of ``A_L`` fits, since a member cannot be split —
+   and (b) the coarse node ``N = A_{L+1} B_0 C_0 …`` fits in memory
+   (estimated as ``|R| · |A_{L+1}| / |A_0|``, observation 2);
+2. **partitions** the relation on ``A_L`` in one pass, simultaneously
+   building ``N`` by hashing (one further pass over R happens later when
+   the partitions are loaded — the "2 reads, 1 write" of Section 4);
+3. hands the partitions to phase 1 (nodes containing ``A_{≤L}``) and ``N``
+   to phase 2 (all remaining nodes).
+
+Members of ``A_L`` are greedily binned into the fewest memory-sized
+partitions; soundness only requires that no member is split across
+partitions.
+
+Level selection needs the per-member weights of each candidate level.  A
+real ROLAP engine reads them from its statistics catalog; this substrate
+offers both an ``exact`` strategy (one counting scan, the default — the
+scan is reported separately in the decision so benchmarks can account for
+it) and a ``uniform`` strategy that trusts ``|R| / |A_L|`` the way the
+paper's examples do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import CubeSchema
+from repro.core.workingset import WorkingSet
+from repro.relational.engine import Engine
+from repro.relational.memory import MemoryBudgetExceeded
+
+_FLUSH_EVERY = 8192  # buffered rows per partition before an append burst
+
+
+@dataclass
+class PartitionDecision:
+    """The outcome of partition-level selection."""
+
+    level: int
+    n_members: int
+    max_member_rows: int
+    estimated_coarse_rows: int
+    available_bytes: int
+    strategy: str
+    level_is_top: bool = False
+    member_rows: dict[int, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def projects_out_first_dim(self) -> bool:
+        """True when ``L`` is the top level, so ``N`` drops the dimension."""
+        return self.level_is_top
+
+
+def _working_set_row_bytes(schema: CubeSchema) -> int:
+    return 4 * schema.n_dimensions + 8 * (schema.n_aggregates + 2)
+
+
+def select_partition_level(
+    engine: Engine,
+    relation: str,
+    schema: CubeSchema,
+    strategy: str = "exact",
+) -> PartitionDecision:
+    """Choose the maximum workable level ``L`` of the first dimension."""
+    heap = engine.relation(relation)
+    total_rows = len(heap)
+    dimension = schema.dimensions[0]
+    if not dimension.is_linear:
+        raise ValueError(
+            "partitioning descends the first dimension's chain; order a "
+            "linear-hierarchy dimension first"
+        )
+    available = engine.memory.free_bytes
+    if available is None:
+        raise ValueError("select_partition_level needs a bounded memory budget")
+
+    partition_row_bytes = schema.partition_schema.row_size_bytes
+    ws_row_bytes = _working_set_row_bytes(schema)
+
+    if strategy == "exact":
+        member_rows_per_level = _exact_member_rows(heap, schema)
+    elif strategy == "uniform":
+        member_rows_per_level = None
+    else:
+        raise ValueError(f"unknown selection strategy {strategy!r}")
+
+    for level in range(dimension.n_levels - 1, -1, -1):
+        if member_rows_per_level is not None:
+            counts = member_rows_per_level[level]
+            max_member = int(counts.max()) if counts.size else 0
+            member_rows = {
+                int(code): int(count)
+                for code, count in enumerate(counts)
+                if count
+            }
+        else:
+            max_member = -(-total_rows // dimension.cardinality(level))
+            member_rows = {}
+        estimated_coarse = estimate_coarse_rows(schema, level, total_rows)
+        partitions_fit = max_member * partition_row_bytes <= available
+        coarse_fits = estimated_coarse * ws_row_bytes <= available
+        if partitions_fit and coarse_fits:
+            return PartitionDecision(
+                level=level,
+                n_members=dimension.cardinality(level),
+                max_member_rows=max_member,
+                estimated_coarse_rows=estimated_coarse,
+                available_bytes=available,
+                strategy=strategy,
+                member_rows=member_rows,
+                level_is_top=(level == dimension.n_levels - 1),
+            )
+    raise MemoryBudgetExceeded(
+        f"no level of dimension {dimension.name!r} yields memory-sized "
+        f"sound partitions with a coarse node that fits; the paper's "
+        f"extension to dimension pairs is not implemented — increase the "
+        f"budget or reorder dimensions by decreasing cardinality"
+    )
+
+
+def estimate_coarse_rows(
+    schema: CubeSchema, level: int, total_rows: int
+) -> int:
+    """Expected row count of ``N = A_{L+1} B_0 C_0 …`` (observation 2).
+
+    The paper estimates ``|N| ≈ |R| · |A_{L+1}| / |A_0|``, which assumes
+    the fact table is dense in the first dimension.  This estimator uses
+    the uniform balls-in-bins expectation over the ``K`` possible grouping
+    combinations of ``N`` — ``E[distinct] = K · (1 - (1 - 1/K)^T)`` — which
+    reduces to the paper's intuition when ``T ≫ K`` (``N`` shrinks toward
+    ``K`` rows) and correctly predicts ``N ≈ R`` on sparse data, where
+    partitioning cannot help and a lower level (or a bigger budget) is
+    needed.
+    """
+    dimension = schema.dimensions[0]
+    if level + 1 == dimension.all_level:
+        combinations = 1
+    else:
+        combinations = dimension.cardinality(level + 1)
+    for other in schema.dimensions[1:]:
+        combinations *= other.base_cardinality
+    if combinations <= 1:
+        return 1
+    expected = -combinations * np.expm1(
+        total_rows * np.log1p(-1.0 / combinations)
+    )
+    return int(min(total_rows, np.ceil(expected)))
+
+
+def _exact_member_rows(heap, schema: CubeSchema) -> list[np.ndarray]:
+    """One counting scan: per-member row counts at every level of dim 0."""
+    dimension = schema.dimensions[0]
+    base_counts = np.zeros(dimension.base_cardinality, dtype=np.int64)
+    for row in heap.scan():
+        base_counts[row[0]] += 1
+    per_level = []
+    for level in range(dimension.n_levels):
+        if level == 0:
+            per_level.append(base_counts)
+            continue
+        level_map = np.asarray(dimension.base_maps[level], dtype=np.int64)
+        counts = np.zeros(dimension.cardinality(level), dtype=np.int64)
+        np.add.at(counts, level_map, base_counts)
+        per_level.append(counts)
+    return per_level
+
+
+def _bin_members(
+    decision: PartitionDecision, partition_row_bytes: int
+) -> dict[int, int]:
+    """First-fit-decreasing binning of ``A_L`` members into partitions.
+
+    Returns member-code → partition-index.  Soundness holds because a
+    member is never split; memory-sizedness because bins are capped at the
+    available budget (each single member fits by the selection criterion).
+    """
+    capacity_rows = max(
+        decision.available_bytes // partition_row_bytes,
+        decision.max_member_rows,
+    )
+    members = sorted(
+        decision.member_rows.items(), key=lambda item: -item[1]
+    )
+    bins: list[int] = []  # remaining capacity per bin
+    assignment: dict[int, int] = {}
+    for code, rows in members:
+        placed = False
+        for index, remaining in enumerate(bins):
+            if rows <= remaining:
+                bins[index] -= rows
+                assignment[code] = index
+                placed = True
+                break
+        if not placed:
+            bins.append(capacity_rows - rows)
+            assignment[code] = len(bins) - 1
+    return assignment
+
+
+def partition_relation(
+    engine: Engine,
+    relation: str,
+    schema: CubeSchema,
+    decision: PartitionDecision,
+    stats=None,
+) -> tuple[list[str], str]:
+    """One pass: route tuples to partitions and hash-build the coarse node.
+
+    Returns the created partition relation names and the name of the
+    persisted coarse node ``N`` (``<relation>.coarseN`` — the paper's
+    ``nodeRelation``, written to disk here and loaded again for phase 2 so
+    it does not occupy memory while partitions are being processed).
+    """
+    heap = engine.relation(relation)
+    dimension = schema.dimensions[0]
+    level = decision.level
+    level_map = dimension.base_maps[level]
+    partition_schema = schema.partition_schema
+
+    if decision.member_rows:
+        assignment = _bin_members(decision, partition_schema.row_size_bytes)
+        n_bins = (max(assignment.values()) + 1) if assignment else 0
+    else:  # uniform strategy: one partition per member
+        assignment = {
+            code: code for code in range(dimension.cardinality(level))
+        }
+        n_bins = dimension.cardinality(level)
+
+    names = [f"{relation}.part{i}" for i in range(n_bins)]
+    for name in names:
+        if engine.catalog.exists(name):
+            engine.catalog.drop(name)
+    heaps = [engine.create_relation(name, partition_schema) for name in names]
+    buffers: list[list[tuple]] = [[] for _ in range(n_bins)]
+
+    project_out = level + 1 == dimension.all_level
+    upper_map = None if project_out else dimension.base_maps[level + 1]
+    specs = schema.aggregates
+    n_dims = schema.n_dimensions
+
+    # key -> [aggregate vector, weight, min rowid, representative base code]
+    coarse: dict[tuple, list] = {}
+
+    for rowid, row in enumerate(heap.scan()):
+        base_code = row[0]
+        bin_index = assignment.get(level_map[base_code])
+        if bin_index is None:  # member absent from the counting scan
+            bin_index = 0
+        buffer = buffers[bin_index]
+        buffer.append(row + (rowid,))
+        if len(buffer) >= _FLUSH_EVERY:
+            heaps[bin_index].append_many(buffer)
+            buffer.clear()
+
+        upper_code = 0 if project_out else upper_map[base_code]
+        key = (upper_code,) + row[1:n_dims]
+        measures = row[n_dims:]
+        entry = coarse.get(key)
+        if entry is None:
+            coarse[key] = [
+                [
+                    spec.function.from_value(measures[spec.measure_index])
+                    for spec in specs
+                ],
+                1,
+                rowid,
+                base_code,
+            ]
+        else:
+            partials = entry[0]
+            for y, spec in enumerate(specs):
+                partials[y] = spec.function.merge(
+                    partials[y],
+                    spec.function.from_value(measures[spec.measure_index]),
+                )
+            entry[1] += 1
+            if rowid < entry[2]:
+                entry[2] = rowid
+
+    for bin_index, buffer in enumerate(buffers):
+        if buffer:
+            heaps[bin_index].append_many(buffer)
+    for partition_heap in heaps:
+        partition_heap.flush()
+
+    if stats is not None:
+        stats.partitioned = True
+        stats.fact_read_passes += 1
+        stats.fact_write_passes += 1
+        stats.partitions_created = n_bins
+
+    coarse_name = _persist_coarse(engine, relation, schema, coarse)
+    return names, coarse_name
+
+
+def _persist_coarse(
+    engine: Engine, relation: str, schema: CubeSchema, coarse: dict[tuple, list]
+) -> str:
+    """Write ``N`` to disk, mirroring the paper's ``nodeRelation``.
+
+    The first dimension is stored as a *representative base code* (any
+    contributor's): recursion from ``N`` never descends below level L+1,
+    where all contributors roll up identically, so any representative is
+    equivalent and the working-set layout stays uniform.
+    """
+    from repro.relational.schema import Column, ColumnType, TableSchema
+
+    columns = [Column("rep_base_code", ColumnType.INT32)]
+    columns += [
+        Column(f"d_{dimension.name}", ColumnType.INT32)
+        for dimension in schema.dimensions[1:]
+    ]
+    columns += [
+        Column(f"aggr_{y}", ColumnType.INT64)
+        for y in range(schema.n_aggregates)
+    ]
+    columns += [
+        Column("weight", ColumnType.INT64),
+        Column("min_rowid", ColumnType.INT64),
+    ]
+    name = f"{relation}.coarseN"
+    if engine.catalog.exists(name):
+        engine.catalog.drop(name)
+    heap = engine.create_relation(name, TableSchema(tuple(columns)))
+    heap.append_many(
+        (base_code,) + key[1:] + tuple(partials) + (weight, min_rowid)
+        for key, (partials, weight, min_rowid, base_code) in coarse.items()
+    )
+    heap.flush()
+    return name
+
+
+def load_coarse_working_set(engine: Engine, name: str, schema: CubeSchema):
+    """Load a persisted coarse node into a working set, under a memory
+    reservation.  Returns ``(working_set, release_callable)``."""
+    loaded = engine.load(name)
+    table = loaded.table
+    n_dims = schema.n_dimensions
+    y = schema.n_aggregates
+    dim_rows = [row[:n_dims] for row in table.rows]
+    agg_rows = [row[n_dims : n_dims + y] for row in table.rows]
+    weights = [row[n_dims + y] for row in table.rows]
+    rowids = [row[n_dims + y + 1] for row in table.rows]
+    working = WorkingSet.from_aggregated(
+        schema, dim_rows, agg_rows, weights, rowids
+    )
+    return working, loaded.release
+
+
+# -- pair partitioning: the extension Section 4 mentions but omits --------------------
+
+
+@dataclass
+class PairPartitionDecision:
+    """Selection outcome for partitioning on (A_L, B_M) member pairs.
+
+    Soundness on the pair lets the partitions build every node where both
+    leading dimensions are present at levels ≤ (L, M); two coarse nodes
+    cover the rest — ``N1 = A_{L+1} B_0 C_0 …`` for nodes with the first
+    dimension above L (or absent), and ``N2 = A_0 B_{M+1} C_0 …`` for
+    nodes keeping the first dimension ≤ L but the second above M (or
+    absent).  The three regions are disjoint and exhaustive.
+    """
+
+    level0: int
+    level1: int
+    max_pair_rows: int
+    estimated_n1_rows: int
+    estimated_n2_rows: int
+    available_bytes: int
+    pair_rows: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+
+
+def estimate_pair_coarse_rows(
+    schema: CubeSchema, which: int, level: int, total_rows: int
+) -> int:
+    """Balls-in-bins size estimate for N1 (``which=0``) or N2 (``which=1``).
+
+    N1 groups by (A_{L+1}, bases of the rest); N2 by (A_0, B_{M+1}, bases
+    of the rest).
+    """
+    combinations = 1
+    for d, dimension in enumerate(schema.dimensions):
+        if d == which:
+            if level + 1 == dimension.all_level:
+                continue  # projected out
+            combinations *= dimension.cardinality(level + 1)
+        else:
+            combinations *= dimension.base_cardinality
+    if combinations <= 1:
+        return 1
+    expected = -combinations * np.expm1(
+        total_rows * np.log1p(-1.0 / combinations)
+    )
+    return int(min(total_rows, np.ceil(expected)))
+
+
+def select_partition_pair(
+    engine: Engine, relation: str, schema: CubeSchema
+) -> PairPartitionDecision:
+    """Choose the maximum workable level pair (L of dim 0, M of dim 1)."""
+    if schema.n_dimensions < 2:
+        raise MemoryBudgetExceeded(
+            "pair partitioning needs at least two dimensions"
+        )
+    heap = engine.relation(relation)
+    total_rows = len(heap)
+    dim0, dim1 = schema.dimensions[0], schema.dimensions[1]
+    if not (dim0.is_linear and dim1.is_linear):
+        raise ValueError(
+            "pair partitioning descends the two leading dimensions' "
+            "chains; order linear-hierarchy dimensions first"
+        )
+    available = engine.memory.free_bytes
+    if available is None:
+        raise ValueError("select_partition_pair needs a bounded memory budget")
+    partition_row_bytes = schema.partition_schema.row_size_bytes
+    ws_row_bytes = _working_set_row_bytes(schema)
+
+    base_counts = _exact_pair_counts(heap, schema)
+    for level0 in range(dim0.n_levels - 1, -1, -1):
+        n1_rows = estimate_pair_coarse_rows(schema, 0, level0, total_rows)
+        if n1_rows * ws_row_bytes > available:
+            continue
+        map0 = dim0.base_maps[level0]
+        for level1 in range(dim1.n_levels - 1, -1, -1):
+            n2_rows = estimate_pair_coarse_rows(schema, 1, level1, total_rows)
+            if n2_rows * ws_row_bytes > available:
+                continue
+            map1 = dim1.base_maps[level1]
+            pair_rows: dict[tuple[int, int], int] = {}
+            for (code0, code1), count in base_counts.items():
+                key = (map0[code0], map1[code1])
+                pair_rows[key] = pair_rows.get(key, 0) + count
+            max_pair = max(pair_rows.values(), default=0)
+            if max_pair * partition_row_bytes <= available:
+                return PairPartitionDecision(
+                    level0=level0,
+                    level1=level1,
+                    max_pair_rows=max_pair,
+                    estimated_n1_rows=n1_rows,
+                    estimated_n2_rows=n2_rows,
+                    available_bytes=available,
+                    pair_rows=pair_rows,
+                )
+    raise MemoryBudgetExceeded(
+        "no level pair of the two leading dimensions yields memory-sized "
+        "sound partitions with coarse nodes that fit; increase the budget "
+        "or reorder dimensions by decreasing cardinality"
+    )
+
+
+def _exact_pair_counts(heap, schema: CubeSchema) -> dict[tuple[int, int], int]:
+    """One scan: joint base-code histogram of the two leading dimensions."""
+    counts: dict[tuple[int, int], int] = {}
+    for row in heap.scan():
+        key = (row[0], row[1])
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def partition_relation_pair(
+    engine: Engine,
+    relation: str,
+    schema: CubeSchema,
+    decision: PairPartitionDecision,
+    stats=None,
+) -> tuple[list[str], str, str]:
+    """One pass: route tuples by (A_L, B_M) pair and build N1 and N2.
+
+    Returns partition names plus the names of the two persisted coarse
+    nodes (``<relation>.coarseN1`` / ``.coarseN2``).
+    """
+    heap = engine.relation(relation)
+    dim0, dim1 = schema.dimensions[0], schema.dimensions[1]
+    map0 = dim0.base_maps[decision.level0]
+    map1 = dim1.base_maps[decision.level1]
+    partition_schema = schema.partition_schema
+
+    capacity_rows = max(
+        decision.available_bytes // partition_schema.row_size_bytes,
+        decision.max_pair_rows,
+    )
+    members = sorted(decision.pair_rows.items(), key=lambda item: -item[1])
+    bins: list[int] = []
+    assignment: dict[tuple[int, int], int] = {}
+    for key, rows in members:
+        placed = False
+        for index, remaining in enumerate(bins):
+            if rows <= remaining:
+                bins[index] -= rows
+                assignment[key] = index
+                placed = True
+                break
+        if not placed:
+            bins.append(capacity_rows - rows)
+            assignment[key] = len(bins) - 1
+    n_bins = len(bins)
+
+    names = [f"{relation}.pairpart{i}" for i in range(n_bins)]
+    for name in names:
+        if engine.catalog.exists(name):
+            engine.catalog.drop(name)
+    heaps = [engine.create_relation(name, partition_schema) for name in names]
+    buffers: list[list[tuple]] = [[] for _ in range(n_bins)]
+
+    project0 = decision.level0 + 1 == dim0.all_level
+    project1 = decision.level1 + 1 == dim1.all_level
+    upper0 = None if project0 else dim0.base_maps[decision.level0 + 1]
+    upper1 = None if project1 else dim1.base_maps[decision.level1 + 1]
+    specs = schema.aggregates
+    n_dims = schema.n_dimensions
+
+    coarse1: dict[tuple, list] = {}  # N1 = A_{L+1} B_0 C_0 …
+    coarse2: dict[tuple, list] = {}  # N2 = A_0 B_{M+1} C_0 …
+
+    def fold(coarse, key, measures, rowid, rep0, rep1):
+        entry = coarse.get(key)
+        if entry is None:
+            coarse[key] = [
+                [
+                    spec.function.from_value(measures[spec.measure_index])
+                    for spec in specs
+                ],
+                1,
+                rowid,
+                rep0,
+                rep1,
+            ]
+        else:
+            partials = entry[0]
+            for y, spec in enumerate(specs):
+                partials[y] = spec.function.merge(
+                    partials[y],
+                    spec.function.from_value(measures[spec.measure_index]),
+                )
+            entry[1] += 1
+            if rowid < entry[2]:
+                entry[2] = rowid
+
+    for rowid, row in enumerate(heap.scan()):
+        code0, code1 = row[0], row[1]
+        bin_index = assignment.get((map0[code0], map1[code1]), 0)
+        buffer = buffers[bin_index]
+        buffer.append(row + (rowid,))
+        if len(buffer) >= _FLUSH_EVERY:
+            heaps[bin_index].append_many(buffer)
+            buffer.clear()
+        measures = row[n_dims:]
+        upper_code0 = 0 if project0 else upper0[code0]
+        upper_code1 = 0 if project1 else upper1[code1]
+        fold(
+            coarse1, (upper_code0,) + row[1:n_dims], measures, rowid,
+            code0, code1,
+        )
+        fold(
+            coarse2, (row[0], upper_code1) + row[2:n_dims], measures, rowid,
+            code0, code1,
+        )
+
+    for bin_index, buffer in enumerate(buffers):
+        if buffer:
+            heaps[bin_index].append_many(buffer)
+    for partition_heap in heaps:
+        partition_heap.flush()
+
+    if stats is not None:
+        stats.partitioned = True
+        stats.fact_read_passes += 1
+        stats.fact_write_passes += 1
+        stats.partitions_created = n_bins
+
+    name1 = _persist_pair_coarse(engine, relation, schema, coarse1, "coarseN1", rep_dim=0)
+    name2 = _persist_pair_coarse(engine, relation, schema, coarse2, "coarseN2", rep_dim=1)
+    return names, name1, name2
+
+
+def _persist_pair_coarse(
+    engine: Engine,
+    relation: str,
+    schema: CubeSchema,
+    coarse: dict[tuple, list],
+    suffix: str,
+    rep_dim: int,
+) -> str:
+    """Write one of the pair's coarse nodes with a representative base code
+    substituted into the aggregated dimension (see ``_persist_coarse``)."""
+    from repro.relational.schema import Column, ColumnType, TableSchema
+
+    columns = [
+        Column(f"c_{d}", ColumnType.INT32)
+        for d in range(schema.n_dimensions)
+    ]
+    columns += [
+        Column(f"aggr_{y}", ColumnType.INT64)
+        for y in range(schema.n_aggregates)
+    ]
+    columns += [
+        Column("weight", ColumnType.INT64),
+        Column("min_rowid", ColumnType.INT64),
+    ]
+    name = f"{relation}.{suffix}"
+    if engine.catalog.exists(name):
+        engine.catalog.drop(name)
+    heap = engine.create_relation(name, TableSchema(tuple(columns)))
+
+    def rows():
+        for key, (partials, weight, min_rowid, rep0, rep1) in coarse.items():
+            dims = list(key)
+            dims[rep_dim] = rep0 if rep_dim == 0 else rep1
+            yield tuple(dims) + tuple(partials) + (weight, min_rowid)
+
+    heap.append_many(rows())
+    heap.flush()
+    return name

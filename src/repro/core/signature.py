@@ -1,0 +1,195 @@
+"""Signatures and the bounded signature pool (Section 5.2 of the paper).
+
+A **signature** is the minimal metadata CURE keeps per aggregated
+(non-trivial) cube tuple: the aggregate value vector, the minimum source
+R-rowid, and the node id.  Nothing else is needed — an NT tuple
+``⟨R-rowid, Aggr…⟩`` can be produced from the signature itself, and CAT
+bookkeeping only compares aggregates and source rowids.
+
+The **pool** is bounded.  While it has room, signatures accumulate; when it
+fills (and once more at the very end), it is *flushed*: signatures are
+sorted by ``(aggregates, R-rowid)``, runs with equal aggregates are
+classified — singleton run → NT, longer run → CATs — and handed to the
+storage layer.  Because classification only sees what is resident, a small
+pool may store some repeated aggregates redundantly; the paper's Figure 18
+measures exactly this trade-off, and :mod:`benchmarks.bench_fig18_pool_size`
+reproduces it.
+
+During the first flush the pool also gathers the ``(m, k, n)`` statistics
+of Section 5.1 and fixes the CAT storage format once, globally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+
+class Signature(NamedTuple):
+    """Metadata of one aggregated, non-trivial cube tuple (Figure 12)."""
+
+    aggregates: tuple[int, ...]
+    rowid: int
+    node_id: int
+
+
+class SignatureRun(NamedTuple):
+    """A maximal run of signatures sharing one aggregate vector."""
+
+    aggregates: tuple[int, ...]
+    members: list[Signature]
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.members) == 1
+
+    def distinct_sources(self) -> int:
+        """Distinct source sets, proxied by distinct minimum R-rowids."""
+        return len({signature.rowid for signature in self.members})
+
+
+@dataclass
+class PoolStats:
+    """Counters describing pool behaviour across a whole build."""
+
+    flushes: int = 0
+    signatures_added: int = 0
+    nt_runs: int = 0
+    cat_runs: int = 0
+    cat_signatures: int = 0
+
+    def reset(self) -> None:
+        self.flushes = 0
+        self.signatures_added = 0
+        self.nt_runs = 0
+        self.cat_runs = 0
+        self.cat_signatures = 0
+
+
+@dataclass
+class FormatStatistics:
+    """The Section 5.1 quantities measured over one flush.
+
+    ``m`` aggregate-value combinations appear among CAT runs; on average
+    each is shared by ``k`` CATs produced by ``n`` distinct source sets.
+    Format (a) wins when ``k/n > Y + 1``.
+    """
+
+    m: int = 0
+    total_cats: int = 0
+    total_sources: int = 0
+
+    def observe(self, run: SignatureRun) -> None:
+        self.m += 1
+        self.total_cats += len(run.members)
+        self.total_sources += run.distinct_sources()
+
+    @property
+    def mean_k(self) -> float:
+        return self.total_cats / self.m if self.m else 0.0
+
+    @property
+    def mean_n(self) -> float:
+        return self.total_sources / self.m if self.m else 0.0
+
+    def common_source_prevails(self, n_aggregates: int) -> bool:
+        """The ``k/n > Y + 1`` criterion."""
+        if self.m == 0 or self.total_sources == 0:
+            return False
+        return self.mean_k / self.mean_n > n_aggregates + 1
+
+
+@dataclass
+class SignaturePool:
+    """A bounded pool of signatures with sort-classify-flush semantics.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident signatures; ``None`` means unbounded (the
+        idealized algorithm that identifies every CAT).
+    on_nt:
+        Called with each signature classified as a normal tuple.
+    on_cats:
+        Called with each run of ≥ 2 signatures sharing aggregates.
+    """
+
+    capacity: int | None
+    on_nt: Callable[[Signature], None]
+    on_cats: Callable[[SignatureRun], None]
+    on_statistics: Callable[[FormatStatistics], None] | None = None
+    stats: PoolStats = field(default_factory=PoolStats)
+    first_flush_statistics: FormatStatistics | None = None
+    _pool: list[Signature] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError("pool capacity must be >= 1 (or None)")
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._pool) >= self.capacity
+
+    def add(self, signature: Signature) -> None:
+        """Add one signature, flushing first if the pool is full.
+
+        Mirrors lines 6–7 of ``ExecutePlan`` in Figure 13: the fullness
+        check precedes the insert, so the pool never exceeds capacity.
+        """
+        if self.full:
+            self.flush()
+        self._pool.append(signature)
+        self.stats.signatures_added += 1
+
+    def flush(self) -> None:
+        """Sort, classify into NTs and CAT runs, and empty the pool.
+
+        On the first flush the Section 5.1 statistics are computed over the
+        resident CAT runs and reported (via ``on_statistics``) *before* any
+        run is emitted, so the storage layer can fix the CAT format first —
+        "the decision on the format can be made once and used globally".
+        """
+        if not self._pool:
+            return
+        self.stats.flushes += 1
+        self._pool.sort(key=lambda s: (s.aggregates, s.rowid))
+        runs = list(self._runs())
+        if self.first_flush_statistics is None:
+            statistics = FormatStatistics()
+            for run in runs:
+                if not run.is_singleton:
+                    statistics.observe(run)
+            self.first_flush_statistics = statistics
+            if self.on_statistics is not None:
+                self.on_statistics(statistics)
+        for run in runs:
+            if run.is_singleton:
+                self.stats.nt_runs += 1
+                self.on_nt(run.members[0])
+            else:
+                self.stats.cat_runs += 1
+                self.stats.cat_signatures += len(run.members)
+                self.on_cats(run)
+        self._pool.clear()
+
+    def _runs(self):
+        current_aggs: tuple[int, ...] | None = None
+        members: list[Signature] = []
+        for signature in self._pool:
+            if signature.aggregates != current_aggs:
+                if members:
+                    yield SignatureRun(current_aggs, members)
+                current_aggs = signature.aggregates
+                members = []
+            members.append(signature)
+        if members:
+            yield SignatureRun(current_aggs, members)
+
+    @staticmethod
+    def size_bytes(capacity: int, n_aggregates: int) -> int:
+        """The paper's pool footprint estimate: ``(Y + 2) * 4`` per entry."""
+        return capacity * (n_aggregates + 2) * 4

@@ -1,0 +1,394 @@
+"""CURE's redundancy-free cube storage (Section 5 of the paper).
+
+Per cube node, up to three relations exist:
+
+* **NT** — normal tuples: ``⟨R-rowid, Aggr1..AggrY⟩`` (Figure 8a).  The
+  dimension values are *not* stored; they are recoverable by fetching the
+  fact tuple at ``R-rowid`` and rolling it up to the node's levels.  In
+  ``CURE_DR`` mode the actual dimension values are stored instead, trading
+  space for query speed (Section 5.3).
+* **TT** — trivial tuples: a bare ``⟨R-rowid⟩`` (Figure 8b).  Stored only
+  at the least detailed node of the plan sub-tree that shares them.
+* **CAT** — common aggregate tuples, whose aggregate vectors live once in
+  the shared ``AGGREGATES`` relation.  Two physical formats (Figure 10):
+
+  * format **(a)** — ``AGGREGATES(R-rowid, Aggr…)``; node rows are a bare
+    ``⟨A-rowid⟩``.  Best when common-source CATs prevail, because CATs from
+    the same source share one AGGREGATES row.
+  * format **(b)** — ``AGGREGATES(Aggr…)``; node rows are
+    ``⟨R-rowid, A-rowid⟩``.  Best when coincidental CATs prevail.
+
+  The choice is made once, from first-flush statistics, by the
+  ``k/n > Y+1`` rule derived in Section 5.1 (with the degenerate cases:
+  ``Y = 1`` → store CATs as plain NTs).
+
+Sizes are accounted in the paper's logical model — 4 bytes per stored
+value (row-id, dimension code, or aggregate) — so the reproduction's size
+figures are directly comparable in shape to the paper's, independent of
+Python object overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.model import CubeSchema
+from repro.core.signature import FormatStatistics, Signature, SignatureRun
+from repro.lattice.node import CubeNode
+from repro.relational.bitmap import Bitmap
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+VALUE_BYTES = 4
+"""Logical size of one stored value (row-id / dimension code / aggregate)."""
+
+
+class CatFormat(enum.Enum):
+    """Physical format of CAT storage (Section 5.1)."""
+
+    COMMON_SOURCE = "a"
+    COINCIDENTAL = "b"
+    AS_NT = "nt"
+
+
+def choose_cat_format(
+    statistics: FormatStatistics, n_aggregates: int
+) -> CatFormat:
+    """The paper's decision rule, verbatim:
+
+    | if common source CATs prevail store them in format (a)
+    | else if Y = 1 store CATs as NTs
+    | else store CATs in format (b)
+    """
+    if statistics.common_source_prevails(n_aggregates):
+        return CatFormat.COMMON_SOURCE
+    if n_aggregates == 1:
+        return CatFormat.AS_NT
+    return CatFormat.COINCIDENTAL
+
+
+@dataclass
+class NodeStore:
+    """The up-to-three relations of one cube node."""
+
+    nt_rows: list[tuple] = field(default_factory=list)
+    tt_rowids: list[int] = field(default_factory=list)
+    cat_rows: list[tuple] = field(default_factory=list)
+    tt_bitmap: Bitmap | None = None
+    cat_bitmap: Bitmap | None = None
+
+    @property
+    def relation_count(self) -> int:
+        """How many physical relations this node materializes."""
+        count = 0
+        if self.nt_rows:
+            count += 1
+        if self.tt_rowids or self.tt_bitmap is not None:
+            count += 1
+        if self.cat_rows or self.cat_bitmap is not None:
+            count += 1
+        return count
+
+    @property
+    def stored_tuples(self) -> int:
+        tt_count = (
+            self.tt_bitmap.count() if self.tt_bitmap else len(self.tt_rowids)
+        )
+        cat_count = (
+            self.cat_bitmap.count() if self.cat_bitmap else len(self.cat_rows)
+        )
+        return len(self.nt_rows) + tt_count + cat_count
+
+
+@dataclass
+class StorageSizeReport:
+    """Logical storage breakdown, in bytes (4 bytes per value)."""
+
+    nt_bytes: int = 0
+    tt_bytes: int = 0
+    cat_bytes: int = 0
+    aggregates_bytes: int = 0
+    n_relations: int = 0
+    n_nt: int = 0
+    n_tt: int = 0
+    n_cat: int = 0
+    n_aggregate_rows: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.nt_bytes + self.tt_bytes + self.cat_bytes + self.aggregates_bytes
+        )
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024 * 1024)
+
+
+@dataclass
+class CubeStorage:
+    """All materialized relations of one CURE cube.
+
+    ``row_resolver`` maps a fact R-rowid to its base dimension codes; it is
+    required in ``dr_mode`` (dimension values are written into NTs) and by
+    the query layer otherwise.
+    """
+
+    schema: CubeSchema
+    dr_mode: bool = False
+    flat: bool = False
+    nodes: dict[int, NodeStore] = field(default_factory=dict)
+    aggregates_rows: list[tuple] = field(default_factory=list)
+    cat_format: CatFormat | None = None
+    partition_level: int | None = None
+    # Level of the second dimension when partitioning fell back to a
+    # dimension *pair* (the extension Section 4 mentions but omits).
+    partition_level2: int | None = None
+    fact_row_count: int = 0
+    row_resolver: Callable[[int], tuple[int, ...]] | None = None
+    plus_processed: bool = False
+
+    # -- node access ------------------------------------------------------------
+
+    def node_store(self, node_id: int) -> NodeStore:
+        store = self.nodes.get(node_id)
+        if store is None:
+            store = NodeStore()
+            self.nodes[node_id] = store
+        return store
+
+    def get_node_store(self, node_id: int) -> NodeStore | None:
+        return self.nodes.get(node_id)
+
+    # -- write API (driven by the builder and the signature pool) ---------------
+
+    def write_tt(self, node_id: int, rowid: int) -> None:
+        self.node_store(node_id).tt_rowids.append(rowid)
+
+    def write_nt(self, signature: Signature) -> None:
+        node_id = signature.node_id
+        if self.dr_mode:
+            dims = self._resolve_node_dims(node_id, signature.rowid)
+            row = dims + signature.aggregates
+        else:
+            row = (signature.rowid,) + signature.aggregates
+        self.node_store(node_id).nt_rows.append(row)
+
+    def decide_format(self, statistics: FormatStatistics) -> None:
+        """Fix the CAT format from first-flush statistics (once, globally)."""
+        if self.cat_format is None:
+            self.cat_format = choose_cat_format(
+                statistics, self.schema.n_aggregates
+            )
+
+    def write_cat_run(self, run: SignatureRun) -> None:
+        """Store one run of CATs under the globally decided format."""
+        if self.cat_format is None:
+            raise RuntimeError(
+                "CAT format not decided; the signature pool must report "
+                "statistics before emitting CAT runs"
+            )
+        if self.cat_format is CatFormat.AS_NT:
+            for signature in run.members:
+                self.write_nt(signature)
+            return
+        if self.cat_format is CatFormat.COMMON_SOURCE:
+            # One AGGREGATES row per distinct source within the run; CATs
+            # with the same source share it (that is the format's point).
+            arowid_by_source: dict[int, int] = {}
+            for signature in run.members:
+                arowid = arowid_by_source.get(signature.rowid)
+                if arowid is None:
+                    arowid = len(self.aggregates_rows)
+                    self.aggregates_rows.append(
+                        (signature.rowid,) + run.aggregates
+                    )
+                    arowid_by_source[signature.rowid] = arowid
+                self.node_store(signature.node_id).cat_rows.append((arowid,))
+            return
+        # Format (b): one AGGREGATES row for the whole run (runs have
+        # distinct aggregate vectors by construction); nodes keep the pair.
+        arowid = len(self.aggregates_rows)
+        self.aggregates_rows.append(run.aggregates)
+        for signature in run.members:
+            self.node_store(signature.node_id).cat_rows.append(
+                (signature.rowid, arowid)
+            )
+
+    def _resolve_node_dims(self, node_id: int, rowid: int) -> tuple[int, ...]:
+        if self.row_resolver is None:
+            raise RuntimeError("dr_mode requires a row_resolver")
+        base_codes = self.row_resolver(rowid)
+        node = self.schema.decode_node(node_id)
+        return self.schema.project_to_node(base_codes, node)
+
+    # -- size accounting ---------------------------------------------------------
+
+    def _grouping_arity(self, node_id: int) -> int:
+        node = self.schema.decode_node(node_id)
+        return len(node.grouping_dims(self.schema.dimensions))
+
+    def size_report(self) -> StorageSizeReport:
+        report = StorageSizeReport()
+        y = self.schema.n_aggregates
+        cat_row_values = 1 if self.cat_format is CatFormat.COMMON_SOURCE else 2
+        for node_id, store in self.nodes.items():
+            report.n_relations += store.relation_count
+            report.n_nt += len(store.nt_rows)
+            report.n_cat += len(store.cat_rows)
+            if self.dr_mode:
+                nt_width = (self._grouping_arity(node_id) + y) * VALUE_BYTES
+            else:
+                nt_width = (1 + y) * VALUE_BYTES
+            report.nt_bytes += len(store.nt_rows) * nt_width
+            if store.tt_bitmap is not None:
+                report.n_tt += store.tt_bitmap.count()
+                report.tt_bytes += store.tt_bitmap.size_bytes
+            else:
+                report.n_tt += len(store.tt_rowids)
+                report.tt_bytes += len(store.tt_rowids) * VALUE_BYTES
+            if store.cat_bitmap is not None:
+                report.cat_bytes += store.cat_bitmap.size_bytes
+            else:
+                report.cat_bytes += (
+                    len(store.cat_rows) * cat_row_values * VALUE_BYTES
+                )
+        if self.cat_format is CatFormat.COMMON_SOURCE:
+            aggregate_width = (1 + y) * VALUE_BYTES
+        else:
+            aggregate_width = y * VALUE_BYTES
+        report.n_aggregate_rows = len(self.aggregates_rows)
+        report.aggregates_bytes = len(self.aggregates_rows) * aggregate_width
+        return report
+
+    # -- persistence ---------------------------------------------------------------
+
+    def persist(self, catalog: Catalog, prefix: str = "cube") -> None:
+        """Materialize every non-empty relation as a heap file.
+
+        Layout: ``<prefix>.meta`` (JSON side file), ``<prefix>.aggregates``,
+        and per node ``<prefix>.n<node_id>.{nt,tt,cat}``.
+        """
+        y = self.schema.n_aggregates
+        agg_columns = tuple(
+            Column(f"aggr_{i}", ColumnType.INT64) for i in range(y)
+        )
+        rowid_column = Column("r_rowid", ColumnType.INT64)
+        arowid_column = Column("a_rowid", ColumnType.INT64)
+        for node_id, store in self.nodes.items():
+            if store.nt_rows:
+                if self.dr_mode:
+                    arity = self._grouping_arity(node_id)
+                    dim_columns = tuple(
+                        Column(f"dim_{i}", ColumnType.INT32)
+                        for i in range(arity)
+                    )
+                    schema = TableSchema(dim_columns + agg_columns)
+                else:
+                    schema = TableSchema((rowid_column,) + agg_columns)
+                heap = catalog.create(f"{prefix}.n{node_id}.nt", schema)
+                heap.append_many(store.nt_rows)
+            # Bitmaps (a CURE+ in-memory representation) are materialized
+            # back to their ascending row-id lists on disk; the
+            # ``plus_processed`` flag in the metadata preserves the sorted
+            # sequential-access property across a reload.
+            tt_rowids = (
+                list(store.tt_bitmap.iter_set())
+                if store.tt_bitmap is not None
+                else store.tt_rowids
+            )
+            if tt_rowids:
+                heap = catalog.create(
+                    f"{prefix}.n{node_id}.tt", TableSchema((rowid_column,))
+                )
+                heap.append_many((rowid,) for rowid in tt_rowids)
+            cat_rows = (
+                [(arowid,) for arowid in store.cat_bitmap.iter_set()]
+                if store.cat_bitmap is not None
+                else store.cat_rows
+            )
+            if cat_rows:
+                if self.cat_format is CatFormat.COMMON_SOURCE:
+                    schema = TableSchema((arowid_column,))
+                else:
+                    schema = TableSchema((rowid_column, arowid_column))
+                heap = catalog.create(f"{prefix}.n{node_id}.cat", schema)
+                heap.append_many(cat_rows)
+        if self.aggregates_rows:
+            if self.cat_format is CatFormat.COMMON_SOURCE:
+                schema = TableSchema((rowid_column,) + agg_columns)
+            else:
+                schema = TableSchema(agg_columns)
+            heap = catalog.create(f"{prefix}.aggregates", schema)
+            heap.append_many(self.aggregates_rows)
+        meta = {
+            "cat_format": self.cat_format.value if self.cat_format else None,
+            "dr_mode": self.dr_mode,
+            "flat": self.flat,
+            "partition_level": self.partition_level,
+            "partition_level2": self.partition_level2,
+            "plus_processed": self.plus_processed,
+            "fact_row_count": self.fact_row_count,
+            "node_ids": sorted(self.nodes),
+        }
+        (catalog.root / f"{prefix}.meta.json").write_text(json.dumps(meta))
+
+    @classmethod
+    def load(
+        cls, catalog: Catalog, schema: CubeSchema, prefix: str = "cube"
+    ) -> "CubeStorage":
+        """Reload a persisted cube into memory."""
+        meta = json.loads((catalog.root / f"{prefix}.meta.json").read_text())
+        storage = cls(
+            schema,
+            dr_mode=meta["dr_mode"],
+            flat=meta.get("flat", False),
+            partition_level=meta["partition_level"],
+            partition_level2=meta.get("partition_level2"),
+            fact_row_count=meta["fact_row_count"],
+        )
+        storage.plus_processed = meta.get("plus_processed", False)
+        if meta["cat_format"] is not None:
+            storage.cat_format = CatFormat(meta["cat_format"])
+        for node_id in meta["node_ids"]:
+            store = storage.node_store(node_id)
+            nt_name = f"{prefix}.n{node_id}.nt"
+            if catalog.exists(nt_name):
+                store.nt_rows = list(catalog.open(nt_name).scan())
+            tt_name = f"{prefix}.n{node_id}.tt"
+            if catalog.exists(tt_name):
+                store.tt_rowids = [row[0] for row in catalog.open(tt_name).scan()]
+            cat_name = f"{prefix}.n{node_id}.cat"
+            if catalog.exists(cat_name):
+                store.cat_rows = list(catalog.open(cat_name).scan())
+        agg_name = f"{prefix}.aggregates"
+        if catalog.exists(agg_name):
+            storage.aggregates_rows = list(catalog.open(agg_name).scan())
+        return storage
+
+    # -- inspection ---------------------------------------------------------------
+
+    def node_by_label(self, label: str) -> NodeStore | None:
+        """Find a node store by its human-readable label (tests/examples)."""
+        for node_id, store in self.nodes.items():
+            node = self.schema.decode_node(node_id)
+            if node.label(self.schema.dimensions) == label:
+                return store
+        return None
+
+    def describe(self) -> str:
+        """A short multi-line summary for examples and debugging."""
+        report = self.size_report()
+        lines = [
+            f"cube over {self.schema.n_dimensions} dimensions, "
+            f"{self.schema.enumerator.n_nodes} lattice nodes",
+            f"  NTs: {report.n_nt}, TTs: {report.n_tt}, CATs: {report.n_cat} "
+            f"(format {self.cat_format.value if self.cat_format else '-'})",
+            f"  AGGREGATES rows: {report.n_aggregate_rows}",
+            f"  relations: {report.n_relations}",
+            f"  logical size: {report.total_mb:.3f} MB",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""The CURE family evaluated in Section 7, as named configurations.
+
+| name       | hierarchies | dim. redundancy removed | CURE+ pass |
+|------------|-------------|--------------------------|------------|
+| CURE       | yes         | yes                      | no         |
+| CURE+      | yes         | yes                      | yes        |
+| CURE_DR    | yes         | no (NTs keep dim values) | no         |
+| CURE_DR+   | yes         | no                       | yes        |
+| FCURE      | no (flat)   | yes                      | no         |
+| FCURE+     | no (flat)   | yes                      | yes        |
+
+``CureConfig.build`` runs construction (plus the CURE+ pass when asked)
+and returns the :class:`~repro.core.cure.CubeResult`; the post-processing
+time is folded into ``stats.elapsed_seconds`` so figures that report total
+construction time treat variants uniformly, while ``plus_report`` keeps
+the split available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.cure import CubeResult, build_cube
+from repro.core.model import CubeSchema
+from repro.core.postprocess import PlusReport, postprocess_plus
+from repro.relational.engine import Engine
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class CureConfig:
+    """One member of the CURE family."""
+
+    name: str
+    dr_mode: bool = False
+    flat: bool = False
+    plus: bool = False
+    pool_capacity: int | None = 1_000_000
+    min_count: int = 1
+
+    def with_pool(self, capacity: int | None) -> "CureConfig":
+        return replace(self, pool_capacity=capacity)
+
+    def with_min_count(self, min_count: int) -> "CureConfig":
+        return replace(self, min_count=min_count)
+
+    def build(
+        self,
+        schema: CubeSchema,
+        *,
+        table: Table | None = None,
+        engine: Engine | None = None,
+        relation: str | None = None,
+    ) -> tuple[CubeResult, PlusReport | None]:
+        result = build_cube(
+            schema,
+            table=table,
+            engine=engine,
+            relation=relation,
+            pool_capacity=self.pool_capacity,
+            min_count=self.min_count,
+            dr_mode=self.dr_mode,
+            flat=self.flat,
+        )
+        plus_report = None
+        if self.plus:
+            plus_report = postprocess_plus(result.storage)
+            result.stats.elapsed_seconds += plus_report.elapsed_seconds
+        return result, plus_report
+
+
+CURE = CureConfig("CURE")
+CURE_PLUS = CureConfig("CURE+", plus=True)
+CURE_DR = CureConfig("CURE_DR", dr_mode=True)
+CURE_DR_PLUS = CureConfig("CURE_DR+", dr_mode=True, plus=True)
+FCURE = CureConfig("FCURE", flat=True)
+FCURE_PLUS = CureConfig("FCURE+", flat=True, plus=True)
+
+VARIANTS: dict[str, CureConfig] = {
+    config.name: config
+    for config in (CURE, CURE_PLUS, CURE_DR, CURE_DR_PLUS, FCURE, FCURE_PLUS)
+}

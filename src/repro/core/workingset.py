@@ -1,0 +1,206 @@
+"""Columnar working sets: the in-memory unit BUC-style recursion runs over.
+
+A :class:`WorkingSet` holds (possibly pre-aggregated) input tuples in
+columnar numpy arrays: one array of base-level member codes per dimension,
+a matrix of partial aggregate vectors, a weight (how many fact tuples each
+row summarizes), and the minimum original R-rowid per row.
+
+Three sources produce working sets:
+
+* the fact table itself (weights all 1, aggregates are singleton values),
+* a loaded partition (same, but carrying original row-ids), and
+* the coarse node ``N`` built during partitioning (weights > 1 possible) —
+  which is why recursion state carries *partial aggregates* rather than
+  raw measures: observation 3 of Section 4 only needs mergeability.
+
+The uniform treatment makes the trivial-tuple test precise in the
+partitioned case: a segment of one row is a TT only when that row's weight
+is 1, i.e. it really is a single fact tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import CubeSchema
+from repro.relational.table import Table
+
+
+@dataclass
+class WorkingSet:
+    """Columnar tuples for cube construction.
+
+    Attributes
+    ----------
+    dims:
+        ``dims[d][i]`` is row ``i``'s base-level code in dimension ``d``.
+    aggs:
+        ``aggs[i, y]`` is row ``i``'s partial value of aggregate ``y``.
+    weights:
+        How many fact tuples row ``i`` summarizes (1 for raw facts).
+    rowids:
+        The minimum original fact row-id among row ``i``'s source tuples.
+    """
+
+    schema: CubeSchema
+    dims: list[np.ndarray]
+    aggs: np.ndarray
+    weights: np.ndarray
+    rowids: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.weights)
+        if len(self.dims) != self.schema.n_dimensions:
+            raise ValueError(
+                f"{self.schema.n_dimensions} dimension columns expected, "
+                f"got {len(self.dims)}"
+            )
+        for column in self.dims:
+            if len(column) != n:
+                raise ValueError("dimension column length mismatch")
+        if self.aggs.shape != (n, self.schema.n_aggregates):
+            raise ValueError(
+                f"aggregate matrix shape {self.aggs.shape} != "
+                f"({n}, {self.schema.n_aggregates})"
+            )
+        if len(self.rowids) != n:
+            raise ValueError("rowid column length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    @property
+    def total_weight(self) -> int:
+        return int(self.weights.sum()) if len(self) else 0
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_fact_table(cls, schema: CubeSchema, table: Table) -> "WorkingSet":
+        """Wrap raw fact tuples (weights 1, singleton aggregates)."""
+        n = len(table)
+        d = schema.n_dimensions
+        dims = [
+            np.fromiter(
+                (row[dim] for row in table.rows), dtype=np.int32, count=n
+            )
+            for dim in range(d)
+        ]
+        aggs = np.empty((n, schema.n_aggregates), dtype=np.int64)
+        for y, spec in enumerate(schema.aggregates):
+            measure_position = d + spec.measure_index
+            aggs[:, y] = np.fromiter(
+                (
+                    spec.function.from_value(row[measure_position])
+                    for row in table.rows
+                ),
+                dtype=np.int64,
+                count=n,
+            )
+        weights = np.ones(n, dtype=np.int64)
+        if table.base_rowids is not None:
+            rowids = np.asarray(table.base_rowids, dtype=np.int64)
+        else:
+            rowids = np.arange(n, dtype=np.int64)
+        return cls(schema, dims, aggs, weights, rowids)
+
+    @classmethod
+    def from_partition_table(
+        cls, schema: CubeSchema, table: Table
+    ) -> "WorkingSet":
+        """Wrap a loaded partition whose last column is the original rowid."""
+        rowid_position = table.schema.position("r_rowid")
+        rowids = [int(row[rowid_position]) for row in table.rows]
+        working = cls.from_fact_table(
+            schema, Table(table.schema, table.rows, base_rowids=rowids)
+        )
+        return working
+
+    @classmethod
+    def empty(cls, schema: CubeSchema) -> "WorkingSet":
+        return cls(
+            schema,
+            [np.empty(0, dtype=np.int32) for _ in range(schema.n_dimensions)],
+            np.empty((0, schema.n_aggregates), dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_aggregated(
+        cls,
+        schema: CubeSchema,
+        dim_rows: list[tuple[int, ...]],
+        agg_rows: list[tuple[int, ...]],
+        weights: list[int],
+        rowids: list[int],
+    ) -> "WorkingSet":
+        """Build from pre-aggregated rows (the coarse node ``N``)."""
+        n = len(weights)
+        dims = [
+            np.fromiter((row[d] for row in dim_rows), dtype=np.int32, count=n)
+            for d in range(schema.n_dimensions)
+        ]
+        aggs = (
+            np.asarray(agg_rows, dtype=np.int64).reshape(
+                n, schema.n_aggregates
+            )
+            if n
+            else np.empty((0, schema.n_aggregates), dtype=np.int64)
+        )
+        return cls(
+            schema,
+            dims,
+            aggs,
+            np.asarray(weights, dtype=np.int64),
+            np.asarray(rowids, dtype=np.int64),
+        )
+
+    # -- recursion support -------------------------------------------------
+
+    def level_keys(self, dim: int, level: int, positions: np.ndarray) -> np.ndarray:
+        """Member codes of ``positions`` in dimension ``dim`` at ``level``."""
+        dimension = self.schema.dimensions[dim]
+        base_codes = self.dims[dim][positions]
+        if level == 0:
+            return base_codes
+        level_map = _level_map_array(dimension, level)
+        return level_map[base_codes]
+
+    def aggregate(self, positions: np.ndarray) -> tuple[int, ...]:
+        """The merged aggregate vector over ``positions``."""
+        return tuple(
+            spec.function.reduce(self.aggs[positions, y])
+            for y, spec in enumerate(self.schema.aggregates)
+        )
+
+    def min_rowid(self, positions: np.ndarray) -> int:
+        return int(self.rowids[positions].min())
+
+    def weight_of(self, positions: np.ndarray) -> int:
+        return int(self.weights[positions].sum())
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical memory footprint (what the memory manager accounts)."""
+        per_row = 4 * self.schema.n_dimensions + 8 * (
+            self.schema.n_aggregates + 2
+        )
+        return len(self) * per_row
+
+
+# Cached per-(dimension, level) numpy roll-up arrays.  Dimension objects are
+# frozen, so identity-keyed caching is safe; the cache also keeps a strong
+# reference to the dimension so its id cannot be recycled underneath us.
+_LEVEL_MAP_CACHE: dict[tuple[int, int], tuple[object, np.ndarray]] = {}
+
+
+def _level_map_array(dimension, level: int) -> np.ndarray:
+    key = (id(dimension), level)
+    cached = _LEVEL_MAP_CACHE.get(key)
+    if cached is None or cached[0] is not dimension:
+        cached = (dimension, np.asarray(dimension.base_maps[level], dtype=np.int32))
+        _LEVEL_MAP_CACHE[key] = cached
+    return cached[1]

@@ -1,0 +1,262 @@
+"""Loading real data: dictionary encoding and hierarchy derivation.
+
+The engine works on integer member codes; real data arrives as records
+with raw values ("Athens", "Greece", …).  This module bridges the two:
+
+* a :class:`DimensionSpec` names the fields of one dimension, most
+  detailed first (``["city", "country", "continent"]``);
+* :func:`load_records` dictionary-encodes each base level, **derives the
+  roll-up maps from the data itself** (validating that every base member
+  maps to exactly one parent member — the functional dependency a
+  hierarchy requires), and produces the
+  :class:`~repro.core.model.CubeSchema`, the fact
+  :class:`~repro.relational.table.Table`, and per-level decoders;
+* :func:`load_csv` is the file-reading convenience on top.
+
+Measures must be integral (cube aggregates stay exact for CAT detection);
+a ``scale`` per measure turns fixed-point decimals like ``12.34`` into
+integers losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.model import CubeSchema
+from repro.hierarchy.dimension import Dimension, Level
+from repro.relational.aggregates import make_aggregates
+from repro.relational.table import Table
+
+
+class HierarchyViolation(ValueError):
+    """A base member mapped to two different parents (no hierarchy)."""
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """The record fields making up one dimension, most detailed first."""
+
+    name: str
+    levels: tuple[str, ...]
+
+    @classmethod
+    def of(cls, name: str, *levels: str) -> "DimensionSpec":
+        if not levels:
+            raise ValueError(f"dimension {name!r} needs at least one level")
+        return cls(name, tuple(levels))
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """One measure field; ``scale`` multiplies before integer conversion."""
+
+    field_name: str
+    scale: int = 1
+
+    @classmethod
+    def of(cls, field_name: str, scale: int = 1) -> "MeasureSpec":
+        if scale < 1:
+            raise ValueError("measure scale must be a positive integer")
+        return cls(field_name, scale)
+
+
+@dataclass
+class DimensionDecoder:
+    """Per-level code → raw value mappings for one dimension."""
+
+    spec: DimensionSpec
+    members: list[list[str]]  # members[level][code] = raw value
+
+    def decode(self, level: int, code: int) -> str:
+        return self.members[level][code]
+
+    def encode(self, level: int, value: str) -> int:
+        try:
+            return self.members[level].index(value)
+        except ValueError:
+            raise KeyError(
+                f"{value!r} is not a member of "
+                f"{self.spec.name}.{self.spec.levels[level]}"
+            ) from None
+
+
+@dataclass
+class LoadResult:
+    """Everything :func:`load_records` produces."""
+
+    schema: CubeSchema
+    table: Table
+    decoders: list[DimensionDecoder]
+    measures: tuple[MeasureSpec, ...]
+
+    def decoder(self, dimension_name: str) -> DimensionDecoder:
+        for decoder in self.decoders:
+            if decoder.spec.name == dimension_name:
+                return decoder
+        raise KeyError(f"no dimension named {dimension_name!r}")
+
+
+def _convert_measure(raw, spec: MeasureSpec) -> int:
+    if isinstance(raw, bool):
+        raise TypeError(f"measure {spec.field_name!r} is boolean")
+    if isinstance(raw, int):
+        return raw * spec.scale
+    text = str(raw).strip()
+    try:
+        return int(text) * spec.scale
+    except ValueError:
+        pass
+    value = float(text) * spec.scale
+    rounded = round(value)
+    if abs(value - rounded) > 1e-9:
+        raise ValueError(
+            f"measure {spec.field_name!r} value {raw!r} is not integral at "
+            f"scale {spec.scale}; increase the scale"
+        )
+    return rounded
+
+
+def load_records(
+    records: Iterable[dict],
+    dimensions: Sequence[DimensionSpec],
+    measures: Sequence[MeasureSpec | str],
+    aggregates: tuple[tuple[str, int], ...] | None = None,
+    order_by_cardinality: bool = True,
+) -> LoadResult:
+    """Encode raw records into a cube schema and fact table.
+
+    ``aggregates`` defaults to SUM over every measure plus one COUNT.
+    With ``order_by_cardinality`` (the BUC/CURE heuristic, on by default)
+    dimensions are reordered by decreasing base cardinality.
+    """
+    if not dimensions:
+        raise ValueError("at least one dimension is required")
+    measure_specs = tuple(
+        m if isinstance(m, MeasureSpec) else MeasureSpec.of(m)
+        for m in measures
+    )
+    if not measure_specs:
+        raise ValueError("at least one measure is required")
+
+    # First pass: collect codes, parent maps and raw rows.
+    encoders: list[list[dict[str, int]]] = [
+        [{} for _ in spec.levels] for spec in dimensions
+    ]
+    parent_maps: list[list[dict[int, int]]] = [
+        [{} for _ in spec.levels[:-1]] for spec in dimensions
+    ]
+    raw_rows: list[tuple] = []
+    for record in records:
+        codes: list[int] = []
+        for d, spec in enumerate(dimensions):
+            level_codes: list[int] = []
+            for l, field_name in enumerate(spec.levels):
+                try:
+                    value = str(record[field_name])
+                except KeyError:
+                    raise KeyError(
+                        f"record is missing field {field_name!r} "
+                        f"(dimension {spec.name!r})"
+                    ) from None
+                mapping = encoders[d][l]
+                code = mapping.setdefault(value, len(mapping))
+                level_codes.append(code)
+            for l in range(len(spec.levels) - 1):
+                child, parent = level_codes[l], level_codes[l + 1]
+                known = parent_maps[d][l].setdefault(child, parent)
+                if known != parent:
+                    child_value = list(encoders[d][l])[child]
+                    raise HierarchyViolation(
+                        f"{spec.name}.{spec.levels[l]}={child_value!r} maps "
+                        f"to two different {spec.levels[l + 1]} members — "
+                        "not a hierarchy"
+                    )
+            codes.append(level_codes[0])
+        measures_row = tuple(
+            _convert_measure(record[spec.field_name], spec)
+            if spec.field_name in record
+            else _missing_measure(spec)
+            for spec in measure_specs
+        )
+        raw_rows.append(tuple(codes) + measures_row)
+
+    built_dimensions = tuple(
+        _build_dimension(spec, encoders[d], parent_maps[d])
+        for d, spec in enumerate(dimensions)
+    )
+    decoders = [
+        DimensionDecoder(
+            spec,
+            [sorted(encoders[d][l], key=encoders[d][l].get)
+             for l in range(len(spec.levels))],
+        )
+        for d, spec in enumerate(dimensions)
+    ]
+
+    order = list(range(len(dimensions)))
+    if order_by_cardinality:
+        order.sort(key=lambda d: -built_dimensions[d].base_cardinality)
+    ordered_dimensions = tuple(built_dimensions[d] for d in order)
+    ordered_decoders = [decoders[d] for d in order]
+    n_measures = len(measure_specs)
+    rows = [
+        tuple(row[d] for d in order) + row[len(dimensions):]
+        for row in raw_rows
+    ]
+
+    if aggregates is None:
+        aggregates = tuple(
+            ("sum", index) for index in range(n_measures)
+        ) + (("count", 0),)
+    schema = CubeSchema(
+        ordered_dimensions, make_aggregates(*aggregates), n_measures
+    )
+    return LoadResult(
+        schema, Table(schema.fact_schema, rows), ordered_decoders,
+        measure_specs,
+    )
+
+
+def _missing_measure(spec: MeasureSpec) -> int:
+    raise KeyError(f"record is missing measure field {spec.field_name!r}")
+
+
+def _build_dimension(
+    spec: DimensionSpec,
+    level_encoders: list[dict[str, int]],
+    level_parent_maps: list[dict[int, int]],
+) -> Dimension:
+    levels = tuple(
+        Level(level_name, max(1, len(level_encoders[l])))
+        for l, level_name in enumerate(spec.levels)
+    )
+    base_cardinality = levels[0].cardinality
+    base_maps: list[tuple[int, ...]] = [tuple(range(base_cardinality))]
+    for l, mapping in enumerate(level_parent_maps):
+        previous = base_maps[-1]
+        step = [mapping.get(code, 0) for code in range(levels[l].cardinality)]
+        base_maps.append(tuple(step[previous[c]] for c in range(base_cardinality)))
+    parents = tuple((l + 1,) for l in range(len(levels)))
+    member_names = tuple(
+        tuple(sorted(level_encoders[l], key=level_encoders[l].get))
+        for l in range(len(levels))
+    )
+    return Dimension(spec.name, levels, tuple(base_maps), parents, member_names)
+
+
+def load_csv(
+    path: str | Path,
+    dimensions: Sequence[DimensionSpec],
+    measures: Sequence[MeasureSpec | str],
+    aggregates: tuple[tuple[str, int], ...] | None = None,
+    order_by_cardinality: bool = True,
+) -> LoadResult:
+    """Load a CSV file with a header row (see :func:`load_records`)."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        return load_records(
+            reader, dimensions, measures, aggregates, order_by_cardinality
+        )

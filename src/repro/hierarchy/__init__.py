@@ -1,0 +1,16 @@
+"""Dimension hierarchies: levels, roll-up maps, linear and complex shapes."""
+
+from repro.hierarchy.dimension import Dimension, Level
+from repro.hierarchy.builders import (
+    complex_dimension,
+    flat_dimension,
+    linear_dimension,
+)
+
+__all__ = [
+    "Dimension",
+    "Level",
+    "complex_dimension",
+    "flat_dimension",
+    "linear_dimension",
+]

@@ -1,0 +1,101 @@
+"""Convenience constructors for common dimension shapes.
+
+These builders produce :class:`~repro.hierarchy.dimension.Dimension`
+instances from compact descriptions: a flat dimension (one level), a linear
+chain given per-step parent maps or target cardinalities, and a complex
+(DAG) hierarchy given explicit base maps and parents.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.dimension import Dimension, Level
+
+
+def flat_dimension(name: str, cardinality: int) -> Dimension:
+    """A dimension with a single (base) level — the paper's "flat" case."""
+    return linear_dimension(name, [(name, cardinality)], parent_maps=[])
+
+
+def linear_dimension(
+    name: str,
+    levels: list[tuple[str, int]],
+    parent_maps: list[list[int]] | None = None,
+    member_names: list[list[str] | None] | None = None,
+) -> Dimension:
+    """A chain hierarchy base → … → top.
+
+    Parameters
+    ----------
+    levels:
+        ``(level_name, cardinality)`` pairs from most to least detailed.
+    parent_maps:
+        ``parent_maps[i]`` maps a level-``i`` code to its level-``i+1``
+        code (length = cardinality of level ``i``).  When omitted, uniform
+        contiguous roll-ups are synthesized: member ``c`` of level ``i``
+        rolls up to ``c * upper // lower`` — deterministic and evenly
+        spread, which is how the synthetic datasets build hierarchies.
+    """
+    if not levels:
+        raise ValueError("at least one level is required")
+    level_objects = tuple(Level(n, c) for n, c in levels)
+    if parent_maps is None:
+        parent_maps = [
+            uniform_rollup_map(levels[i][1], levels[i + 1][1])
+            for i in range(len(levels) - 1)
+        ]
+    if len(parent_maps) != len(levels) - 1:
+        raise ValueError(
+            f"{len(levels) - 1} parent maps expected, got {len(parent_maps)}"
+        )
+    base_cardinality = levels[0][1]
+    base_maps: list[tuple[int, ...]] = [tuple(range(base_cardinality))]
+    for step, parent_map in enumerate(parent_maps):
+        expected_len = levels[step][1]
+        if len(parent_map) != expected_len:
+            raise ValueError(
+                f"parent map {step} has length {len(parent_map)}, "
+                f"expected {expected_len}"
+            )
+        previous = base_maps[-1]
+        base_maps.append(tuple(parent_map[code] for code in previous))
+    parents = tuple((index + 1,) for index in range(len(levels)))
+    names = None
+    if member_names is not None:
+        names = tuple(
+            tuple(level_names) if level_names is not None else None
+            for level_names in member_names
+        )
+    return Dimension(name, level_objects, tuple(base_maps), parents, names)
+
+
+def complex_dimension(
+    name: str,
+    levels: list[tuple[str, int]],
+    base_maps: list[list[int]],
+    parents: list[tuple[int, ...]],
+) -> Dimension:
+    """A DAG hierarchy with explicit base maps and parent lists.
+
+    ``parents[i]`` uses level indices, with ``len(levels)`` standing for
+    ALL.  See :class:`~repro.hierarchy.dimension.Dimension` for the
+    invariants (parents must be less detailed, every level reaches ALL).
+    """
+    return Dimension(
+        name,
+        tuple(Level(n, c) for n, c in levels),
+        tuple(tuple(m) for m in base_maps),
+        tuple(tuple(p) for p in parents),
+    )
+
+
+def uniform_rollup_map(lower_cardinality: int, upper_cardinality: int) -> list[int]:
+    """An evenly spread roll-up from ``lower`` to ``upper`` member codes."""
+    if upper_cardinality > lower_cardinality:
+        raise ValueError(
+            "a parent level cannot have more members than its child "
+            f"({upper_cardinality} > {lower_cardinality})"
+        )
+    return [
+        code * upper_cardinality // lower_cardinality
+        for code in range(lower_cardinality)
+    ]

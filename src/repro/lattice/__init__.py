@@ -1,0 +1,28 @@
+"""Cube lattices over hierarchical dimensions and CURE execution plans."""
+
+from repro.lattice.node import CubeNode, NodeEnumerator
+from repro.lattice.lattice import CubeLattice
+from repro.lattice.plan import (
+    ExecutionPlan,
+    PlanEdge,
+    PlanNode,
+    build_plan_p1,
+    build_plan_p2,
+    build_plan_p3,
+    plan_ancestors,
+    plan_parent,
+)
+
+__all__ = [
+    "CubeLattice",
+    "CubeNode",
+    "ExecutionPlan",
+    "NodeEnumerator",
+    "PlanEdge",
+    "PlanNode",
+    "build_plan_p1",
+    "build_plan_p2",
+    "build_plan_p3",
+    "plan_ancestors",
+    "plan_parent",
+]

@@ -1,0 +1,131 @@
+"""The hierarchical cube lattice: nodes, detail order, ancestors.
+
+The lattice (Harinarayan et al. [9], extended with hierarchy levels as in
+Section 3 of the CURE paper) orders nodes by detail: node ``M`` is an
+**ancestor** of ``N`` when ``M`` is at least as detailed as ``N`` in every
+dimension — i.e. each of ``N``'s levels is reachable from ``M``'s level by
+rolling up.  (The paper draws detailed nodes at the top, so "ancestor"
+means "more detailed"; a partition sound on ``N`` is sound on all of
+``N``'s ancestors.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.hierarchy.dimension import Dimension
+from repro.lattice.node import CubeNode, NodeEnumerator
+
+
+@dataclass(frozen=True)
+class CubeLattice:
+    """All cube nodes over an ordered tuple of dimensions."""
+
+    dimensions: tuple[Dimension, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise ValueError("a lattice needs at least one dimension")
+        for dimension in self.dimensions:
+            dimension.validate_plan_coverage()
+
+    @cached_property
+    def enumerator(self) -> NodeEnumerator:
+        return NodeEnumerator(self.dimensions)
+
+    @property
+    def n_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.enumerator.n_nodes
+
+    def nodes(self) -> Iterator[CubeNode]:
+        """Every node, in node-id order."""
+        for node_id in range(self.n_nodes):
+            yield self.enumerator.decode(node_id)
+
+    # -- detail order ----------------------------------------------------------
+
+    @cached_property
+    def _rollup_reach(self) -> tuple[tuple[frozenset[int], ...], ...]:
+        """Per dimension and level: the set of levels reachable by roll-up
+        (including the level itself and ALL)."""
+        per_dimension = []
+        for dimension in self.dimensions:
+            reach: list[frozenset[int]] = []
+            for level in range(dimension.n_levels_with_all):
+                seen: set[int] = set()
+                frontier = [level]
+                while frontier:
+                    current = frontier.pop()
+                    if current in seen:
+                        continue
+                    seen.add(current)
+                    if current != dimension.all_level:
+                        frontier.extend(dimension.parents[current])
+                reach.append(frozenset(seen))
+            per_dimension.append(tuple(reach))
+        return tuple(per_dimension)
+
+    def level_rolls_up_to(self, dim: int, detailed: int, coarse: int) -> bool:
+        """Can dimension ``dim``'s level ``detailed`` roll up to ``coarse``?"""
+        return coarse in self._rollup_reach[dim][detailed]
+
+    def is_ancestor(self, detailed: CubeNode, coarse: CubeNode) -> bool:
+        """Is ``detailed`` an ancestor of (at least as detailed as) ``coarse``?
+
+        True also when the nodes are equal; callers wanting the strict
+        relation should exclude equality themselves.
+        """
+        return all(
+            self.level_rolls_up_to(d, detailed.levels[d], coarse.levels[d])
+            for d in range(self.n_dimensions)
+        )
+
+    def ancestors(self, node: CubeNode) -> list[CubeNode]:
+        """All strictly more detailed nodes (O(n_nodes) scan; small lattices)."""
+        return [
+            candidate
+            for candidate in self.nodes()
+            if candidate != node and self.is_ancestor(candidate, node)
+        ]
+
+    def descendants(self, node: CubeNode) -> list[CubeNode]:
+        """All strictly less detailed nodes."""
+        return [
+            candidate
+            for candidate in self.nodes()
+            if candidate != node and self.is_ancestor(node, candidate)
+        ]
+
+    # -- distinguished nodes -----------------------------------------------------
+
+    @property
+    def base_node(self) -> CubeNode:
+        """The most detailed node: every dimension at its base level."""
+        return CubeNode(tuple(0 for _ in self.dimensions))
+
+    @property
+    def all_node(self) -> CubeNode:
+        """The ∅ node: every dimension at ALL."""
+        return CubeNode(
+            tuple(dimension.all_level for dimension in self.dimensions)
+        )
+
+    def flat_nodes(self) -> Iterator[CubeNode]:
+        """Nodes of the flat (base-levels-only) sub-lattice.
+
+        These are the ``2^D`` nodes FCURE constructs: each dimension either
+        at its base level or at ALL.
+        """
+        n = self.n_dimensions
+        for mask in range(1 << n):
+            levels = tuple(
+                0 if mask & (1 << d) else self.dimensions[d].all_level
+                for d in range(n)
+            )
+            yield CubeNode(levels)

@@ -1,0 +1,119 @@
+"""Cube nodes and their unique integer identifiers (Section 3.3).
+
+A cube node fixes one hierarchy level per dimension, with the implicit ALL
+level meaning "this dimension is not in the grouping set".  The paper
+enumerates nodes with a mixed-radix code: with ``𝓛_i`` the number of levels
+of dimension ``i`` *including* ALL,
+
+    F_1 = 1,   F_i = F_{i-1} · 𝓛_{i-1}                       (formula 1)
+    id(N) = Σ_i  F_i · L_i                                    (formula 2)
+
+where ``L_i ∈ [0, 𝓛_i - 1]`` is dimension ``i``'s level in the node.  The
+id is decodable back to the level vector with div/mod, which is how CURE's
+signatures carry their node compactly (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.hierarchy.dimension import Dimension
+
+
+@dataclass(frozen=True)
+class CubeNode:
+    """A cube lattice node: one level index per dimension (ALL included)."""
+
+    levels: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a cube node needs at least one dimension")
+
+    @property
+    def arity(self) -> int:
+        return len(self.levels)
+
+    def grouping_dims(self, dimensions: tuple[Dimension, ...]) -> tuple[int, ...]:
+        """Indices of dimensions that are not at ALL in this node."""
+        return tuple(
+            d
+            for d, level in enumerate(self.levels)
+            if level != dimensions[d].all_level
+        )
+
+    def with_level(self, dim: int, level: int) -> "CubeNode":
+        levels = list(self.levels)
+        levels[dim] = level
+        return CubeNode(tuple(levels))
+
+    def label(self, dimensions: tuple[Dimension, ...]) -> str:
+        """Human-readable label like ``A1B0`` / ``Product.Class×Time.Year``.
+
+        Matches the paper's figures: dimensions at ALL are omitted; the
+        empty grouping set renders as ``∅``.
+        """
+        parts = []
+        for d, level in enumerate(self.levels):
+            dimension = dimensions[d]
+            if level == dimension.all_level:
+                continue
+            parts.append(f"{dimension.name}.{dimension.level(level).name}")
+        return "×".join(parts) if parts else "∅"
+
+
+@dataclass(frozen=True)
+class NodeEnumerator:
+    """Encodes/decodes cube nodes to unique integer ids (formulas 1 and 2)."""
+
+    dimensions: tuple[Dimension, ...]
+
+    @cached_property
+    def factors(self) -> tuple[int, ...]:
+        """The ``F_i`` factors of formula (1)."""
+        factors = [1]
+        for dimension in self.dimensions[:-1]:
+            factors.append(factors[-1] * dimension.n_levels_with_all)
+        return tuple(factors)
+
+    @cached_property
+    def n_nodes(self) -> int:
+        """Total node count ``∏ (L_i + 1)`` from Section 3."""
+        product = 1
+        for dimension in self.dimensions:
+            product *= dimension.n_levels_with_all
+        return product
+
+    def node_id(self, node: CubeNode) -> int:
+        """Formula (2): the unique id of ``node``."""
+        if node.arity != len(self.dimensions):
+            raise ValueError(
+                f"node has {node.arity} dimensions, enumerator has "
+                f"{len(self.dimensions)}"
+            )
+        total = 0
+        for level, factor, dimension in zip(
+            node.levels, self.factors, self.dimensions
+        ):
+            if not 0 <= level <= dimension.all_level:
+                raise ValueError(
+                    f"level {level} out of range for dimension "
+                    f"{dimension.name!r} (max {dimension.all_level})"
+                )
+            total += factor * level
+        return total
+
+    def decode(self, node_id: int) -> CubeNode:
+        """Invert formula (2) with div/mod, as Section 3.3 describes."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(
+                f"node id {node_id} out of range [0, {self.n_nodes})"
+            )
+        levels = []
+        remainder = node_id
+        for dimension in self.dimensions:
+            radix = dimension.n_levels_with_all
+            levels.append(remainder % radix)
+            remainder //= radix
+        return CubeNode(tuple(levels))

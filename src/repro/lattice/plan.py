@@ -1,0 +1,243 @@
+"""Execution plans: BUC-style prunings of the cube lattice (Section 3).
+
+Three plan shapes from the paper are materializable as trees here:
+
+* **P1** (:func:`build_plan_p1`) — the flat BUC plan over base levels only
+  (Figure 2); also the plan FCURE uses over hierarchical data.
+* **P2** (:func:`build_plan_p2`) — the "straightforward" hierarchical plan
+  that treats every level as an independent dimension (Figure 3); height
+  stays D, so sort costs are shared poorly.  Implemented for the plan
+  ablation benchmark.
+* **P3** (:func:`build_plan_p3`) — CURE's tall plan (Figure 4), built from
+  rule 1 (solid edges introduce the next dimension at an entry level) and
+  rule 2 (dashed edges descend the rightmost dimension one level), with
+  the modified rule 2 for complex hierarchies baked into
+  :meth:`Dimension.dashed_children`.
+
+Materialized trees are only for small lattices (tests, visualization,
+ablation).  Execution and query answering use the *analytic* form —
+:func:`plan_parent` / :func:`plan_ancestors` — which navigates P3 without
+building it, since flat lattices at high dimensionality have ``2^D`` nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lattice.lattice import CubeLattice
+from repro.lattice.node import CubeNode
+
+
+class PlanEdge(enum.Enum):
+    """Edge flavors from Section 3.1."""
+
+    SOLID = "solid"  # adds a grouping dimension at an entry level
+    DASHED = "dashed"  # descends the rightmost dimension one level
+
+
+@dataclass
+class PlanNode:
+    """One node of a materialized execution plan tree."""
+
+    node: CubeNode
+    children: list[tuple[PlanEdge, "PlanNode"]] = field(default_factory=list)
+
+    def walk(self):
+        """Yield every plan node in depth-first (execution) order."""
+        yield self
+        for _edge, child in self.children:
+            yield from child.walk()
+
+    def height(self) -> int:
+        """Edges on the longest root-to-leaf path."""
+        if not self.children:
+            return 0
+        return 1 + max(child.height() for _edge, child in self.children)
+
+    def count(self) -> int:
+        return sum(1 for _node in self.walk())
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A materialized plan tree plus its lattice context."""
+
+    lattice: CubeLattice
+    root: PlanNode
+    name: str
+
+    def node_count(self) -> int:
+        return self.root.count()
+
+    def height(self) -> int:
+        return self.root.height()
+
+    def render(self, max_nodes: int = 200) -> str:
+        """An ASCII tree of the plan (solid ``──``, dashed ``╌╌`` edges).
+
+        Figures 2–4 of the paper, regenerable for any lattice::
+
+            ∅
+            ├── A.A2
+            │   ├── B.B1 …
+
+        Rendering stops after ``max_nodes`` lines with an ellipsis, since
+        flat plans grow as 2^D.
+        """
+        dimensions = self.lattice.dimensions
+        lines = [f"{self.name} ({self.node_count()} nodes, "
+                 f"height {self.height()})"]
+        count = 0
+
+        def walk(plan_node: PlanNode, prefix: str, connector: str) -> bool:
+            nonlocal count
+            if count >= max_nodes:
+                return False
+            lines.append(prefix + connector + plan_node.node.label(dimensions))
+            count += 1
+            children = plan_node.children
+            child_prefix = prefix
+            if connector:
+                child_prefix += "│   " if connector.startswith("├") else "    "
+            for index, (edge, child) in enumerate(children):
+                last = index == len(children) - 1
+                stroke = "──" if edge is PlanEdge.SOLID else "╌╌"
+                branch = ("└" if last else "├") + stroke + " "
+                if not walk(child, child_prefix, branch):
+                    lines.append(child_prefix + "└── …")
+                    return False
+            return True
+
+        walk(self.root, "", "")
+        return "\n".join(lines)
+
+
+# -- P3: CURE's hierarchical plan ---------------------------------------------
+
+
+def build_plan_p3(
+    lattice: CubeLattice, base_levels: tuple[int, ...] | None = None
+) -> ExecutionPlan:
+    """Materialize CURE's plan (Figure 4) for a small lattice.
+
+    ``base_levels`` optionally stops dashed descent above a dimension's
+    base — the partitioned mode's ``baseLevel`` array (Figure 13).
+    """
+    dimensions = lattice.dimensions
+    if base_levels is None:
+        base_levels = tuple(0 for _ in dimensions)
+
+    def expand(node: CubeNode, next_dim: int, entered: int | None) -> PlanNode:
+        plan_node = PlanNode(node)
+        for d in range(next_dim, lattice.n_dimensions):
+            for entry in dimensions[d].entry_levels():
+                child = node.with_level(d, entry)
+                plan_node.children.append(
+                    (PlanEdge.SOLID, expand(child, d + 1, d))
+                )
+        if entered is not None:
+            for lower in dimensions[entered].dashed_children(node.levels[entered]):
+                if lower < base_levels[entered]:
+                    continue
+                child = node.with_level(entered, lower)
+                plan_node.children.append(
+                    (PlanEdge.DASHED, expand(child, next_dim, entered))
+                )
+        return plan_node
+
+    return ExecutionPlan(lattice, expand(lattice.all_node, 0, None), "P3")
+
+
+# -- P1: the flat BUC plan ----------------------------------------------------
+
+
+def build_plan_p1(lattice: CubeLattice) -> ExecutionPlan:
+    """The flat plan (Figure 2): base levels only, solid edges only."""
+
+    def expand(node: CubeNode, next_dim: int) -> PlanNode:
+        plan_node = PlanNode(node)
+        for d in range(next_dim, lattice.n_dimensions):
+            child = node.with_level(d, 0)
+            plan_node.children.append((PlanEdge.SOLID, expand(child, d + 1)))
+        return plan_node
+
+    return ExecutionPlan(lattice, expand(lattice.all_node, 0), "P1")
+
+
+# -- P2: levels as independent dimensions --------------------------------------
+
+
+def build_plan_p2(lattice: CubeLattice) -> ExecutionPlan:
+    """The "shortest" hierarchical plan (Figure 3).
+
+    Every (dimension, level) pair acts as a pseudo-dimension; nodes mixing
+    two levels of the same dimension are omitted.  Pseudo-dimensions are
+    ordered by dimension, then from least to most detailed level, so each
+    lattice node appears exactly once and the tree height equals D.
+    """
+    dimensions = lattice.dimensions
+    pseudo: list[tuple[int, int]] = []
+    for d, dimension in enumerate(dimensions):
+        for level in range(dimension.n_levels - 1, -1, -1):
+            pseudo.append((d, level))
+
+    def expand(node: CubeNode, next_pseudo: int, used_dim: int) -> PlanNode:
+        plan_node = PlanNode(node)
+        for p in range(next_pseudo, len(pseudo)):
+            d, level = pseudo[p]
+            if d == used_dim:
+                continue
+            child = node.with_level(d, level)
+            plan_node.children.append(
+                (PlanEdge.SOLID, expand(child, p + 1, d))
+            )
+        return plan_node
+
+    return ExecutionPlan(lattice, expand(lattice.all_node, 0, -1), "P2")
+
+
+# -- analytic P3 navigation ----------------------------------------------------
+
+
+def plan_parent(
+    lattice: CubeLattice, node: CubeNode, flat: bool = False
+) -> CubeNode | None:
+    """The parent of ``node`` in the (implicit) P3 tree, or None for root.
+
+    Reverses the construction rules: if the rightmost grouping dimension
+    sits at one of its entry levels the incoming edge was solid (drop the
+    dimension); otherwise it was dashed (ascend to the level's
+    max-cardinality parent).  With ``flat=True`` navigates the P1 tree
+    instead (drop the rightmost grouping dimension).
+    """
+    dimensions = lattice.dimensions
+    grouping = node.grouping_dims(dimensions)
+    if not grouping:
+        return None
+    rightmost = grouping[-1]
+    dimension = dimensions[rightmost]
+    level = node.levels[rightmost]
+    if flat or level in dimension.entry_levels():
+        return node.with_level(rightmost, dimension.all_level)
+    parent_level = dimension.dashed_parent_of(level)
+    if parent_level is None:  # entry level not reached via dashed edges
+        return node.with_level(rightmost, dimension.all_level)
+    return node.with_level(rightmost, parent_level)
+
+
+def plan_ancestors(
+    lattice: CubeLattice, node: CubeNode, flat: bool = False
+) -> list[CubeNode]:
+    """The path from ``node``'s plan parent up to the root (∅), in order.
+
+    These are exactly the nodes whose TT relations may hold trivial tuples
+    shared with ``node`` (Section 5.1's sub-tree sharing property).
+    """
+    ancestors: list[CubeNode] = []
+    current: CubeNode | None = node
+    while True:
+        current = plan_parent(lattice, current, flat=flat)
+        if current is None:
+            return ancestors
+        ancestors.append(current)

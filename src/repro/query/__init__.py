@@ -1,0 +1,62 @@
+"""Query answering over every cube format the reproduction builds."""
+
+from repro.query.cache import FactCache
+from repro.query.answer import (
+    QueryStats,
+    answer_bubst_query,
+    answer_buc_query,
+    answer_cure_query,
+    reference_group_by,
+)
+from repro.query.workload import (
+    all_node_queries,
+    bucket_queries_by_result_size,
+    random_node_queries,
+    random_rollup_queries,
+)
+from repro.query.planner import CubePlanner, QueryPlan, QueryRequest, build_indices
+from repro.query.slice import (
+    DimensionSlice,
+    allowed_rowids,
+    answer_cure_sliced,
+)
+from repro.query.rollup import (
+    answer_rollup_from_bubst,
+    answer_rollup_from_buc,
+    answer_rollup_from_flat,
+    base_node_of,
+    rollup_base_answer,
+)
+from repro.query.iceberg import (
+    iceberg_over_bubst,
+    iceberg_over_buc,
+    iceberg_over_cure,
+)
+
+__all__ = [
+    "CubePlanner",
+    "DimensionSlice",
+    "FactCache",
+    "QueryPlan",
+    "QueryRequest",
+    "QueryStats",
+    "all_node_queries",
+    "allowed_rowids",
+    "answer_cure_sliced",
+    "answer_bubst_query",
+    "answer_buc_query",
+    "answer_cure_query",
+    "answer_rollup_from_bubst",
+    "answer_rollup_from_buc",
+    "answer_rollup_from_flat",
+    "base_node_of",
+    "bucket_queries_by_result_size",
+    "build_indices",
+    "rollup_base_answer",
+    "iceberg_over_bubst",
+    "iceberg_over_buc",
+    "iceberg_over_cure",
+    "random_node_queries",
+    "random_rollup_queries",
+    "reference_group_by",
+]

@@ -1,0 +1,274 @@
+"""Node-query answering over CURE, BUC and BU-BST cubes.
+
+A **node query** asks for every tuple of one cube node (a group-by with no
+selection) — the workload of Figures 16, 25 and 28.  Answer shape is a
+list of ``(dimension_values, aggregate_values)`` pairs, identical across
+formats so correctness tests can compare them directly against
+:func:`reference_group_by`, a naive re-aggregation of the fact data.
+
+Per format:
+
+* **CURE** — read the node's NT/CAT relations (dereferencing R-rowids into
+  the fact cache and A-rowids into AGGREGATES), then collect shared TTs
+  from the node itself and its plan ancestors.  CURE+ cubes benefit from
+  sorted row-id lists and bitmaps via the cache's sequential path.
+* **BUC** — read the per-node relation directly; the fast baseline.
+* **BU-BST** — scan the whole monolithic relation, keeping exact-node rows
+  and the BSTs whose storing node lies on this node's plan path; this full
+  scan is why Figure 16 shows it orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.bubst import ALL_MARKER, BuBstCube
+from repro.baselines.buc import BucCube
+from repro.core.model import CubeSchema
+from repro.core.storage import CatFormat, CubeStorage
+from repro.lattice.node import CubeNode
+from repro.lattice.plan import plan_ancestors
+from repro.query.cache import FactCache
+from repro.relational.aggregates import aggregate_singleton
+
+Answer = list[tuple[tuple[int, ...], tuple[int, ...]]]
+
+
+@dataclass
+class QueryStats:
+    """Work counters for one (or many) query executions."""
+
+    rows_scanned: int = 0
+    fact_fetches: int = 0
+    tuples_returned: int = 0
+
+    def reset(self) -> None:
+        self.rows_scanned = 0
+        self.fact_fetches = 0
+        self.tuples_returned = 0
+
+
+# -- CURE -------------------------------------------------------------------------
+
+
+def answer_cure_query(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    stats: QueryStats | None = None,
+) -> Answer:
+    """Answer one node query over a CURE(-family) cube."""
+    schema = storage.schema
+    node_id = schema.node_id(node)
+    answer: Answer = []
+    store = storage.get_node_store(node_id)
+    if store is not None:
+        _append_nts(schema, storage, cache, node, store, answer, stats)
+        _append_cats(schema, storage, cache, node, store, answer, stats)
+    _append_tts(schema, storage, cache, node, answer, stats)
+    if stats is not None:
+        stats.tuples_returned += len(answer)
+    return answer
+
+
+def _append_nts(schema, storage, cache, node, store, answer, stats) -> None:
+    if not store.nt_rows:
+        return
+    y = schema.n_aggregates
+    if stats is not None:
+        stats.rows_scanned += len(store.nt_rows)
+    if storage.dr_mode:
+        arity = len(node.grouping_dims(schema.dimensions))
+        for row in store.nt_rows:
+            answer.append((row[:arity], row[arity : arity + y]))
+        return
+    rowids = [row[0] for row in store.nt_rows]
+    fact_rows = cache.fetch_many(rowids, sorted_hint=storage.plus_processed)
+    if stats is not None:
+        stats.fact_fetches += len(rowids)
+    for row, fact_row in zip(store.nt_rows, fact_rows):
+        dims = schema.project_to_node(schema.dim_values(fact_row), node)
+        answer.append((dims, row[1 : 1 + y]))
+
+
+def _append_cats(schema, storage, cache, node, store, answer, stats) -> None:
+    y = schema.n_aggregates
+    if storage.cat_format is CatFormat.COMMON_SOURCE:
+        if store.cat_bitmap is not None:
+            arowids = list(store.cat_bitmap.iter_set())
+        else:
+            arowids = [row[0] for row in store.cat_rows]
+        if not arowids:
+            return
+        if stats is not None:
+            stats.rows_scanned += len(arowids)
+        entries = [storage.aggregates_rows[arowid] for arowid in arowids]
+        rowids = [entry[0] for entry in entries]
+        fact_rows = cache.fetch_many(rowids, sorted_hint=storage.plus_processed)
+        if stats is not None:
+            stats.fact_fetches += len(rowids)
+        for entry, fact_row in zip(entries, fact_rows):
+            dims = schema.project_to_node(schema.dim_values(fact_row), node)
+            answer.append((dims, entry[1 : 1 + y]))
+        return
+    if not store.cat_rows:
+        return
+    # Format (b): node rows are ⟨R-rowid, A-rowid⟩, AGGREGATES is bare.
+    if stats is not None:
+        stats.rows_scanned += len(store.cat_rows)
+    rowids = [row[0] for row in store.cat_rows]
+    fact_rows = cache.fetch_many(rowids, sorted_hint=False)
+    if stats is not None:
+        stats.fact_fetches += len(rowids)
+    for row, fact_row in zip(store.cat_rows, fact_rows):
+        dims = schema.project_to_node(schema.dim_values(fact_row), node)
+        answer.append((dims, tuple(storage.aggregates_rows[row[1]])))
+
+
+def _construction_phase(storage: CubeStorage, node: CubeNode) -> str:
+    """Which construction phase produced ``node``'s tuples?
+
+    ``"P"`` — the partition phase (dimension 0 present at level ≤ L, and
+    for pair partitioning also dimension 1 present at level ≤ M);
+    ``"N2"`` — the second coarse node of pair partitioning (dimension 0
+    present ≤ L, dimension 1 above M or absent);
+    ``"N1"`` — the (first) coarse node (dimension 0 above L or absent).
+    """
+    schema = storage.schema
+    level = storage.partition_level
+    all0 = schema.dimensions[0].all_level
+    if node.levels[0] == all0 or node.levels[0] > level:
+        return "N1"
+    level2 = storage.partition_level2
+    if level2 is None:
+        return "P"
+    all1 = schema.dimensions[1].all_level
+    if node.levels[1] != all1 and node.levels[1] <= level2:
+        return "P"
+    return "N2"
+
+
+def tt_source_nodes(storage: CubeStorage, node: CubeNode) -> list[CubeNode]:
+    """The node itself plus every plan ancestor whose TT relation may hold
+    trivial tuples shared with ``node``.
+
+    For a cube built with external partitioning, each node's tuples were
+    produced by one construction phase (partitions, the coarse node N —
+    or, with pair partitioning, one of two coarse nodes), and TT sharing
+    only spans nodes of the same phase: each phase's recursion re-finds
+    the trivial tuples of its own region, so crossing a phase boundary
+    would double-count them.
+    """
+    schema = storage.schema
+    chain = [node] + plan_ancestors(schema.lattice, node, flat=storage.flat)
+    if storage.partition_level is None:
+        return chain
+    phase = _construction_phase(storage, node)
+    return [
+        candidate
+        for candidate in chain
+        if _construction_phase(storage, candidate) == phase
+    ]
+
+
+def _append_tts(schema, storage, cache, node, answer, stats) -> None:
+    for source in tt_source_nodes(storage, node):
+        store = storage.get_node_store(schema.node_id(source))
+        if store is None:
+            continue
+        if store.tt_bitmap is not None:
+            rowids = list(store.tt_bitmap.iter_set())
+            sorted_hint = True
+        else:
+            rowids = store.tt_rowids
+            sorted_hint = storage.plus_processed
+        if not rowids:
+            continue
+        if stats is not None:
+            stats.rows_scanned += len(rowids)
+            stats.fact_fetches += len(rowids)
+        fact_rows = cache.fetch_many(rowids, sorted_hint=sorted_hint)
+        for fact_row in fact_rows:
+            dims = schema.project_to_node(schema.dim_values(fact_row), node)
+            aggregates = aggregate_singleton(
+                schema.aggregates, schema.measures(fact_row)
+            )
+            answer.append((dims, aggregates))
+
+
+# -- BUC ---------------------------------------------------------------------------
+
+
+def answer_buc_query(
+    cube: BucCube, node: CubeNode, stats: QueryStats | None = None
+) -> Answer:
+    """Answer one node query over a BUC cube (direct per-node read)."""
+    if not cube.materialized:
+        raise ValueError("cannot query an analytically-sized BUC cube")
+    schema = cube.schema
+    y = schema.n_aggregates
+    rows = cube.node_rows(schema.node_id(node))
+    arity = len(node.grouping_dims(schema.dimensions))
+    answer = [(row[:arity], row[arity : arity + y]) for row in rows]
+    if stats is not None:
+        stats.rows_scanned += len(rows)
+        stats.tuples_returned += len(answer)
+    return answer
+
+
+# -- BU-BST -------------------------------------------------------------------------
+
+
+def answer_bubst_query(
+    cube: BuBstCube, node: CubeNode, stats: QueryStats | None = None
+) -> Answer:
+    """Answer one node query over a BU-BST cube (full monolithic scan)."""
+    schema = cube.schema
+    node_id = schema.node_id(node)
+    grouping = node.grouping_dims(schema.dimensions)
+    sharing_ids = {
+        schema.node_id(source)
+        for source in [node]
+        + plan_ancestors(schema.lattice, node, flat=True)
+    }
+    answer: Answer = []
+    for row in cube.rows:
+        if stats is not None:
+            stats.rows_scanned += 1
+        if row.is_bst:
+            if row.node_id in sharing_ids:
+                dims = tuple(row.dims[d] for d in grouping)
+                answer.append((dims, row.aggregates))
+        elif row.node_id == node_id:
+            dims = tuple(row.dims[d] for d in grouping)
+            answer.append((dims, row.aggregates))
+    if stats is not None:
+        stats.tuples_returned += len(answer)
+    return answer
+
+
+# -- reference ------------------------------------------------------------------------
+
+
+def reference_group_by(
+    schema: CubeSchema, fact_rows: list[tuple], node: CubeNode
+) -> Answer:
+    """Naive re-aggregation of the fact data: ground truth for tests."""
+    groups: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for row in fact_rows:
+        dims = schema.project_to_node(schema.dim_values(row), node)
+        partial = aggregate_singleton(schema.aggregates, schema.measures(row))
+        existing = groups.get(dims)
+        if existing is None:
+            groups[dims] = partial
+        else:
+            groups[dims] = tuple(
+                spec.function.merge(a, b)
+                for spec, a, b in zip(schema.aggregates, existing, partial)
+            )
+    return sorted(groups.items())
+
+
+def normalize_answer(answer: Answer) -> Answer:
+    """Sort an answer for comparison (formats return arbitrary orders)."""
+    return sorted(answer)

@@ -1,0 +1,112 @@
+"""Fact-table caching for query answering (Section 5.3, Figure 17).
+
+CURE's query bottleneck is dereferencing R-rowids (and A-rowids) back to
+the fact table and the AGGREGATES relation.  The paper's observation is
+that *these two relations* are the only things worth caching — a rule no
+other ROLAP format offers.  :class:`FactCache` models a partial cache: a
+seeded random ``fraction`` of fact row-ids is resident; misses hit the
+heap file with real I/O.  ``fraction=1.0`` (or an in-memory fact table)
+makes every fetch a hit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.model import CubeSchema
+from repro.relational.heap import HeapFile
+from repro.relational.table import Table
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class FactCache:
+    """A partial in-memory cache over the fact relation.
+
+    Exactly one of ``heap`` / ``table`` must be given.  With ``table`` the
+    whole relation is trivially resident (the paper's in-memory case, where
+    query results are "orders of magnitude better, due to caching").
+    """
+
+    schema: CubeSchema
+    heap: HeapFile | None = None
+    table: Table | None = None
+    fraction: float = 1.0
+    seed: int = 7
+    stats: CacheStats = field(default_factory=CacheStats)
+    _cached: dict[int, tuple] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if (self.heap is None) == (self.table is None):
+            raise ValueError("provide exactly one of heap= or table=")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("cache fraction must be within [0, 1]")
+        if self.heap is not None and self.fraction > 0.0:
+            self._warm()
+
+    def _warm(self) -> None:
+        """Pin a seeded random sample of rows, as a buffer pool would."""
+        n = len(self.heap)
+        target = int(n * self.fraction)
+        if target <= 0:
+            return
+        rng = random.Random(self.seed)
+        if target >= n:
+            chosen = range(n)
+        else:
+            chosen = rng.sample(range(n), target)
+        for rowid in sorted(chosen):
+            self._cached[rowid] = self.heap.read_row(rowid)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.table) if self.table is not None else len(self.heap)
+
+    def fetch(self, rowid: int) -> tuple:
+        """Fetch one fact row, through the cache."""
+        if self.table is not None:
+            self.stats.hits += 1
+            return self.table[rowid]
+        row = self._cached.get(rowid)
+        if row is not None:
+            self.stats.hits += 1
+            return row
+        self.stats.misses += 1
+        return self.heap.read_row(rowid)
+
+    def fetch_many(self, rowids, sorted_hint: bool = False) -> list[tuple]:
+        """Fetch several rows; sorted misses coalesce into a sequential pass.
+
+        ``sorted_hint=True`` is what CURE+ buys by sorting TT row-id lists
+        (or using bitmaps): the uncached remainder is read in one scan.
+        """
+        if self.table is not None:
+            self.stats.hits += len(rowids)
+            return [self.table[rowid] for rowid in rowids]
+        if not sorted_hint:
+            return [self.fetch(rowid) for rowid in rowids]
+        result: dict[int, tuple] = {}
+        missing: list[int] = []
+        for rowid in rowids:
+            row = self._cached.get(rowid)
+            if row is not None:
+                self.stats.hits += 1
+                result[rowid] = row
+            else:
+                missing.append(rowid)
+        if missing:
+            self.stats.misses += len(missing)
+            unique_missing = sorted(set(missing))
+            fetched = self.heap.read_rows_sequential(unique_missing)
+            result.update(zip(unique_missing, fetched))
+        return [result[rowid] for rowid in rowids]

@@ -1,0 +1,143 @@
+"""Count-iceberg queries: ``… HAVING count(*) >= min_count``.
+
+The paper notes (end of Section 7) that answering count-iceberg queries
+over a CURE cube is "orders of magnitude more efficient than doing so over
+any other format, since in this case TTs can be ignored (recall that the
+count for TTs is always 1)".  Over a CURE cube, an iceberg query with
+``min_count >= 2`` therefore touches only the NT and CAT relations —
+usually a small fraction of the node's tuples in sparse data — while BUC
+and BU-BST must filter every stored tuple.
+
+All three functions require the schema to carry a COUNT aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bubst import BuBstCube
+from repro.baselines.buc import BucCube
+from repro.core.storage import CatFormat, CubeStorage
+from repro.lattice.node import CubeNode
+from repro.query.answer import (
+    Answer,
+    QueryStats,
+    answer_bubst_query,
+    answer_buc_query,
+)
+from repro.query.cache import FactCache
+
+
+def _require_count_index(schema) -> int:
+    index = schema.count_aggregate_index()
+    if index is None:
+        raise ValueError(
+            "iceberg count queries need a COUNT aggregate in the schema"
+        )
+    return index
+
+
+def iceberg_over_cure(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    min_count: int,
+    stats: QueryStats | None = None,
+) -> Answer:
+    """Iceberg query over CURE: TT relations are skipped entirely."""
+    schema = storage.schema
+    count_index = _require_count_index(schema)
+    if min_count <= 1:
+        from repro.query.answer import answer_cure_query
+
+        return answer_cure_query(storage, cache, node, stats)
+    answer: Answer = []
+    store = storage.get_node_store(schema.node_id(node))
+    if store is None:
+        return answer
+    y = schema.n_aggregates
+    # NTs: filter on the stored count before paying any fact fetch.
+    if storage.dr_mode:
+        arity = len(node.grouping_dims(schema.dimensions))
+        for row in store.nt_rows:
+            if stats is not None:
+                stats.rows_scanned += 1
+            aggregates = row[arity : arity + y]
+            if aggregates[count_index] >= min_count:
+                answer.append((row[:arity], aggregates))
+    else:
+        passing = [
+            row for row in store.nt_rows if row[1 + count_index] >= min_count
+        ]
+        if stats is not None:
+            stats.rows_scanned += len(store.nt_rows)
+            stats.fact_fetches += len(passing)
+        fact_rows = cache.fetch_many(
+            [row[0] for row in passing], sorted_hint=storage.plus_processed
+        )
+        for row, fact_row in zip(passing, fact_rows):
+            dims = schema.project_to_node(schema.dim_values(fact_row), node)
+            answer.append((dims, row[1 : 1 + y]))
+    # CATs: the aggregate vector lives in AGGREGATES; filter there.
+    if storage.cat_format is CatFormat.COMMON_SOURCE:
+        if store.cat_bitmap is not None:
+            arowids = list(store.cat_bitmap.iter_set())
+        else:
+            arowids = [row[0] for row in store.cat_rows]
+        for arowid in arowids:
+            if stats is not None:
+                stats.rows_scanned += 1
+            entry = storage.aggregates_rows[arowid]
+            aggregates = entry[1 : 1 + y]
+            if aggregates[count_index] < min_count:
+                continue
+            fact_row = cache.fetch(entry[0])
+            if stats is not None:
+                stats.fact_fetches += 1
+            dims = schema.project_to_node(schema.dim_values(fact_row), node)
+            answer.append((dims, aggregates))
+    else:
+        for row in store.cat_rows:
+            if stats is not None:
+                stats.rows_scanned += 1
+            aggregates = tuple(storage.aggregates_rows[row[1]])
+            if aggregates[count_index] < min_count:
+                continue
+            fact_row = cache.fetch(row[0])
+            if stats is not None:
+                stats.fact_fetches += 1
+            dims = schema.project_to_node(schema.dim_values(fact_row), node)
+            answer.append((dims, aggregates))
+    if stats is not None:
+        stats.tuples_returned += len(answer)
+    return answer
+
+
+def iceberg_over_buc(
+    cube: BucCube,
+    node: CubeNode,
+    min_count: int,
+    stats: QueryStats | None = None,
+) -> Answer:
+    """Iceberg query over BUC: read the node, then filter every tuple."""
+    count_index = _require_count_index(cube.schema)
+    full = answer_buc_query(cube, node, stats)
+    return [
+        (dims, aggregates)
+        for dims, aggregates in full
+        if aggregates[count_index] >= min_count
+    ]
+
+
+def iceberg_over_bubst(
+    cube: BuBstCube,
+    node: CubeNode,
+    min_count: int,
+    stats: QueryStats | None = None,
+) -> Answer:
+    """Iceberg query over BU-BST: full monolithic scan, then filter."""
+    count_index = _require_count_index(cube.schema)
+    full = answer_bubst_query(cube, node, stats)
+    return [
+        (dims, aggregates)
+        for dims, aggregates in full
+        if aggregates[count_index] >= min_count
+    ]

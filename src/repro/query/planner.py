@@ -1,0 +1,170 @@
+"""A small query planner over CURE cubes.
+
+The answering primitives each cover one situation: direct node reads
+(:func:`answer_cure_query`), on-the-fly roll-up when the cube is flat
+(:func:`answer_rollup_from_flat`), post-filtered or index-assisted slices
+(:func:`answer_cure_sliced`).  :class:`CubePlanner` picks among them per
+request, the way a host engine's optimizer would:
+
+* a node materialized in the cube → **direct** read;
+* a hierarchical node over a flat (FCURE) cube → **rollup** from the
+  base-level node with the same grouping dimensions;
+* member predicates → **indexed** pre-filtering when inverted indices are
+  available and the cube stores row-ids (not DR), **postfilter**
+  otherwise.
+
+``explain`` reports the chosen strategy and its estimated work (stored
+tuples that will be touched), which the planner also uses as its cost
+signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.storage import CubeStorage
+from repro.lattice.node import CubeNode
+from repro.query.answer import (
+    Answer,
+    QueryStats,
+    answer_cure_query,
+    tt_source_nodes,
+)
+from repro.query.cache import FactCache
+from repro.query.rollup import base_node_of, rollup_base_answer
+from repro.query.slice import DimensionSlice, answer_cure_sliced
+from repro.relational.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One group-by request: a target node plus optional member slices."""
+
+    node: CubeNode
+    slices: tuple[DimensionSlice, ...] = ()
+
+    @classmethod
+    def of(cls, node: CubeNode, *slices: DimensionSlice) -> "QueryRequest":
+        return cls(node, tuple(slices))
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's choice for one request."""
+
+    strategy: str  # "direct" | "rollup" | "indexed" | "postfilter"
+    source_node: CubeNode
+    estimated_tuples: int
+
+    def explain(self, dimensions) -> str:
+        return (
+            f"{self.strategy} over {self.source_node.label(dimensions)} "
+            f"(~{self.estimated_tuples} stored tuples)"
+        )
+
+
+@dataclass
+class CubePlanner:
+    """Plans and answers requests over one cube."""
+
+    storage: CubeStorage
+    cache: FactCache
+    indices: dict[int, InvertedIndex] | None = None
+
+    # -- planning -----------------------------------------------------------
+
+    def _estimated_tuples(self, node: CubeNode) -> int:
+        schema = self.storage.schema
+        total = 0
+        store = self.storage.get_node_store(schema.node_id(node))
+        if store is not None:
+            total += len(store.nt_rows)
+            if store.cat_bitmap is not None:
+                total += store.cat_bitmap.count()
+            else:
+                total += len(store.cat_rows)
+        for source in tt_source_nodes(self.storage, node):
+            tt_store = self.storage.get_node_store(schema.node_id(source))
+            if tt_store is None:
+                continue
+            if tt_store.tt_bitmap is not None:
+                total += tt_store.tt_bitmap.count()
+            else:
+                total += len(tt_store.tt_rowids)
+        return total
+
+    def _is_materialized(self, node: CubeNode) -> bool:
+        if not self.storage.flat:
+            return True  # a complete hierarchical cube has every node
+        schema = self.storage.schema
+        return all(
+            level in (0, schema.dimensions[d].all_level)
+            for d, level in enumerate(node.levels)
+        )
+
+    def plan(self, request: QueryRequest) -> QueryPlan:
+        node = request.node
+        if not self._is_materialized(node):
+            base = base_node_of(self.storage.schema, node)
+            return QueryPlan("rollup", base, self._estimated_tuples(base))
+        if request.slices:
+            indexed = (
+                self.indices is not None
+                and not self.storage.dr_mode
+                and all(s.dim in self.indices for s in request.slices)
+            )
+            strategy = "indexed" if indexed else "postfilter"
+            return QueryPlan(strategy, node, self._estimated_tuples(node))
+        return QueryPlan("direct", node, self._estimated_tuples(node))
+
+    # -- execution ------------------------------------------------------------
+
+    def answer(
+        self, request: QueryRequest, stats: QueryStats | None = None
+    ) -> Answer:
+        plan = self.plan(request)
+        if plan.strategy == "direct":
+            return answer_cure_query(
+                self.storage, self.cache, request.node, stats
+            )
+        if plan.strategy == "rollup":
+            base_answer = answer_cure_query(
+                self.storage, self.cache, plan.source_node, stats
+            )
+            rolled = rollup_base_answer(
+                self.storage.schema, base_answer, request.node
+            )
+            if not request.slices:
+                return rolled
+            from repro.query.slice import _matches  # shared predicate
+
+            schema = self.storage.schema
+            return [
+                (dims, aggregates)
+                for dims, aggregates in rolled
+                if _matches(schema, request.node, request.slices, dims)
+            ]
+        return answer_cure_sliced(
+            self.storage,
+            self.cache,
+            request.node,
+            list(request.slices),
+            indices=self.indices if plan.strategy == "indexed" else None,
+            stats=stats,
+        )
+
+    def explain(self, request: QueryRequest) -> str:
+        return self.plan(request).explain(self.storage.schema.dimensions)
+
+
+def build_indices(
+    schema, fact_rows: list[tuple]
+) -> dict[int, InvertedIndex]:
+    """Inverted indices over every dimension column of a fact table."""
+    return {
+        d: InvertedIndex.build(
+            [row[d] for row in fact_rows],
+            schema.dimensions[d].base_cardinality,
+        )
+        for d in range(schema.n_dimensions)
+    }

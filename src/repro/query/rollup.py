@@ -1,0 +1,105 @@
+"""Roll-up / drill-down answering: hierarchical queries over flat cubes.
+
+Figure 28 of the paper compares answering hierarchical node queries from a
+hierarchical cube (direct node read) against flat cubes, where "the
+underlying system must further aggregate materialized aggregates on the
+fly".  The on-the-fly path works over any flat format: fetch the
+base-level node with the same grouping dimensions, roll every tuple's
+codes up to the requested levels, and re-aggregate
+(:func:`rollup_base_answer`); format-specific wrappers exist for CURE
+(:func:`answer_rollup_from_flat`), BUC and BU-BST.
+
+Only distributive aggregates can be rolled up from materialized partials;
+a holistic aggregate raises, mirroring the real limitation.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bubst import BuBstCube
+from repro.baselines.buc import BucCube
+from repro.core.model import CubeSchema
+from repro.core.storage import CubeStorage
+from repro.lattice.node import CubeNode
+from repro.query.answer import (
+    Answer,
+    QueryStats,
+    answer_bubst_query,
+    answer_buc_query,
+    answer_cure_query,
+)
+from repro.query.cache import FactCache
+
+
+def base_node_of(schema: CubeSchema, node: CubeNode) -> CubeNode:
+    """The base-level node with the same grouping dimensions as ``node``."""
+    grouping = set(node.grouping_dims(schema.dimensions))
+    return CubeNode(
+        tuple(
+            0 if d in grouping else schema.dimensions[d].all_level
+            for d in range(schema.n_dimensions)
+        )
+    )
+
+
+def rollup_base_answer(
+    schema: CubeSchema, base_answer: Answer, node: CubeNode
+) -> Answer:
+    """Re-aggregate a base-level node answer up to ``node``'s levels."""
+    if not schema.all_distributive:
+        raise ValueError(
+            "on-the-fly roll-up needs distributive aggregates; a holistic "
+            "aggregate cannot be recomputed from base-level partials"
+        )
+    grouping = node.grouping_dims(schema.dimensions)
+    groups: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for dims, aggregates in base_answer:
+        rolled = tuple(
+            schema.dimensions[dim].code_at(code, node.levels[dim])
+            for code, dim in zip(dims, grouping)
+        )
+        existing = groups.get(rolled)
+        if existing is None:
+            groups[rolled] = aggregates
+        else:
+            groups[rolled] = tuple(
+                spec.function.merge(a, b)
+                for spec, a, b in zip(schema.aggregates, existing, aggregates)
+            )
+    return list(groups.items())
+
+
+def answer_rollup_from_flat(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    stats: QueryStats | None = None,
+) -> Answer:
+    """Answer a hierarchical node query from a flat CURE (FCURE) cube."""
+    schema = storage.schema
+    base = base_node_of(schema, node)
+    base_answer = answer_cure_query(storage, cache, base, stats)
+    if node == base:
+        return base_answer
+    return rollup_base_answer(schema, base_answer, node)
+
+
+def answer_rollup_from_buc(
+    cube: BucCube, node: CubeNode, stats: QueryStats | None = None
+) -> Answer:
+    """Answer a hierarchical node query from a (flat) BUC cube."""
+    base = base_node_of(cube.schema, node)
+    base_answer = answer_buc_query(cube, base, stats)
+    if node == base:
+        return base_answer
+    return rollup_base_answer(cube.schema, base_answer, node)
+
+
+def answer_rollup_from_bubst(
+    cube: BuBstCube, node: CubeNode, stats: QueryStats | None = None
+) -> Answer:
+    """Answer a hierarchical node query from a (flat) BU-BST cube."""
+    base = base_node_of(cube.schema, node)
+    base_answer = answer_bubst_query(cube, base, stats)
+    if node == base:
+        return base_answer
+    return rollup_base_answer(cube.schema, base_answer, node)

@@ -1,0 +1,257 @@
+"""Selective node queries: slice-and-dice with member predicates.
+
+Section 7 of the paper observes that huge-result node queries "would be
+more interesting if they were combined with some selection of specific
+ranges (accelerated by indexing techniques)", and Section 5.3 proposes
+indexing *the fact table* rather than the cube.  This module implements
+both halves:
+
+* a :class:`DimensionSlice` restricts one grouping dimension to a member
+  set at some (possibly coarser) hierarchy level;
+* :func:`answer_cure_sliced` evaluates a node query under slices.  Without
+  an index it post-filters; given per-dimension
+  :class:`~repro.relational.index.InvertedIndex` objects over the fact
+  table it pre-filters NT/TT/CAT row-ids *before* any fact fetch — the
+  row-id a CURE tuple stores belongs to its source group, whose members
+  all share the grouping dimensions' values, so one membership test
+  decides the whole tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.storage import CatFormat, CubeStorage
+from repro.lattice.node import CubeNode
+from repro.query.answer import Answer, QueryStats, tt_source_nodes
+from repro.query.cache import FactCache
+from repro.relational.aggregates import aggregate_singleton
+from repro.relational.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class DimensionSlice:
+    """Restrict dimension ``dim`` to ``members`` at hierarchy ``level``."""
+
+    dim: int
+    level: int
+    members: frozenset[int]
+
+    @classmethod
+    def of(cls, dim: int, level: int, members) -> "DimensionSlice":
+        return cls(dim, level, frozenset(members))
+
+
+def _validate(schema, node: CubeNode, slices) -> None:
+    grouping = set(node.grouping_dims(schema.dimensions))
+    for item in slices:
+        dimension = schema.dimensions[item.dim]
+        if item.dim not in grouping:
+            raise ValueError(
+                f"cannot slice dimension {dimension.name!r}: it is at ALL "
+                "in the queried node (its aggregates pool all members)"
+            )
+        if not schema.lattice.level_rolls_up_to(
+            item.dim, node.levels[item.dim], item.level
+        ):
+            raise ValueError(
+                f"slice level {item.level} of {dimension.name!r} is not a "
+                f"roll-up of the node's level {node.levels[item.dim]}"
+            )
+
+
+def _accepted_base_codes(schema, item: DimensionSlice) -> set[int]:
+    dimension = schema.dimensions[item.dim]
+    return {
+        code
+        for code in range(dimension.base_cardinality)
+        if dimension.code_at(code, item.level) in item.members
+    }
+
+
+def allowed_rowids(
+    schema, slices, indices: dict[int, InvertedIndex]
+) -> set[int]:
+    """Fact row-ids satisfying every slice, from the inverted indices."""
+    allowed: set[int] | None = None
+    for item in slices:
+        index = indices[item.dim]
+        codes = _accepted_base_codes(schema, item)
+        rowids = set(index.rowids_for_members(codes))
+        allowed = rowids if allowed is None else (allowed & rowids)
+    return allowed if allowed is not None else set()
+
+
+def answer_cure_sliced(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    slices: list[DimensionSlice],
+    indices: dict[int, InvertedIndex] | None = None,
+    stats: QueryStats | None = None,
+) -> Answer:
+    """Answer a node query under dimension slices.
+
+    ``indices`` maps dimension index → fact-table inverted index (base
+    level).  When provided, row-ids are filtered before fact fetches;
+    otherwise results are post-filtered after projection.
+    """
+    schema = storage.schema
+    _validate(schema, node, slices)
+    if not slices:
+        from repro.query.answer import answer_cure_query
+
+        return answer_cure_query(storage, cache, node, stats)
+
+    if indices is not None:
+        missing = [s.dim for s in slices if s.dim not in indices]
+        if missing:
+            raise KeyError(f"no inverted index for dimensions {missing}")
+        allowed = allowed_rowids(schema, slices, indices)
+        return _answer_prefiltered(storage, cache, node, allowed, stats)
+    return _answer_postfiltered(storage, cache, node, slices, stats)
+
+
+def _matches(schema, node, slices, dims: tuple[int, ...]) -> bool:
+    grouping = node.grouping_dims(schema.dimensions)
+    position_of = {dim: i for i, dim in enumerate(grouping)}
+    for item in slices:
+        dimension = schema.dimensions[item.dim]
+        node_level = node.levels[item.dim]
+        code = dims[position_of[item.dim]]
+        # Roll the node-level code up to the slice level by picking any
+        # base representative; node-level equality implies slice-level
+        # equality only along the base maps, so map through a base code.
+        rolled = _roll_between(dimension, code, node_level, item.level)
+        if rolled not in item.members:
+            return False
+    return True
+
+
+def _roll_between(dimension, code: int, from_level: int, to_level: int) -> int:
+    """Map a ``from_level`` member code to its ``to_level`` ancestor."""
+    if from_level == to_level:
+        return code
+    # Find a base code whose from_level image is `code`, then roll it up.
+    # Linear scan cached per (dimension, level) would be nicer; member
+    # counts are small at coarse levels so this stays cheap.
+    base_map = dimension.base_maps[from_level] if from_level != 0 else None
+    if from_level == 0:
+        return dimension.code_at(code, to_level)
+    for base_code, image in enumerate(base_map):
+        if image == code:
+            return dimension.code_at(base_code, to_level)
+    raise ValueError(
+        f"member {code} has no base representative at level {from_level}"
+    )
+
+
+def _answer_postfiltered(storage, cache, node, slices, stats) -> Answer:
+    from repro.query.answer import answer_cure_query
+
+    schema = storage.schema
+    full = answer_cure_query(storage, cache, node, stats)
+    return [
+        (dims, aggregates)
+        for dims, aggregates in full
+        if _matches(schema, node, slices, dims)
+    ]
+
+
+def _answer_prefiltered(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    allowed: set[int],
+    stats: QueryStats | None,
+) -> Answer:
+    """Index-assisted path: drop row-ids before dereferencing them.
+
+    Every stored row-id belongs to the tuple's source group; since all
+    group members share the grouping dimensions' values, the stored
+    representative's membership in ``allowed`` decides the whole tuple.
+    """
+    schema = storage.schema
+    y = schema.n_aggregates
+    answer: Answer = []
+    store = storage.get_node_store(schema.node_id(node))
+    if store is not None:
+        if storage.dr_mode:
+            raise ValueError(
+                "index-assisted slicing needs row-id based NTs; query the "
+                "DR cube with post-filtering instead (indices=None)"
+            )
+        passing = [row for row in store.nt_rows if row[0] in allowed]
+        if stats is not None:
+            stats.rows_scanned += len(store.nt_rows)
+            stats.fact_fetches += len(passing)
+        fact_rows = cache.fetch_many(
+            [row[0] for row in passing], sorted_hint=storage.plus_processed
+        )
+        for row, fact_row in zip(passing, fact_rows):
+            dims = schema.project_to_node(schema.dim_values(fact_row), node)
+            answer.append((dims, row[1 : 1 + y]))
+
+        if storage.cat_format is CatFormat.COMMON_SOURCE:
+            if store.cat_bitmap is not None:
+                arowids = list(store.cat_bitmap.iter_set())
+            else:
+                arowids = [row[0] for row in store.cat_rows]
+            entries = [
+                storage.aggregates_rows[arowid]
+                for arowid in arowids
+                if storage.aggregates_rows[arowid][0] in allowed
+            ]
+            if stats is not None:
+                stats.rows_scanned += len(arowids)
+                stats.fact_fetches += len(entries)
+            fact_rows = cache.fetch_many(
+                [entry[0] for entry in entries],
+                sorted_hint=storage.plus_processed,
+            )
+            for entry, fact_row in zip(entries, fact_rows):
+                dims = schema.project_to_node(
+                    schema.dim_values(fact_row), node
+                )
+                answer.append((dims, entry[1 : 1 + y]))
+        else:
+            passing_cats = [
+                row for row in store.cat_rows if row[0] in allowed
+            ]
+            if stats is not None:
+                stats.rows_scanned += len(store.cat_rows)
+                stats.fact_fetches += len(passing_cats)
+            fact_rows = cache.fetch_many([row[0] for row in passing_cats])
+            for row, fact_row in zip(passing_cats, fact_rows):
+                dims = schema.project_to_node(
+                    schema.dim_values(fact_row), node
+                )
+                answer.append((dims, tuple(storage.aggregates_rows[row[1]])))
+
+    for source in tt_source_nodes(storage, node):
+        tt_store = storage.get_node_store(schema.node_id(source))
+        if tt_store is None:
+            continue
+        if tt_store.tt_bitmap is not None:
+            rowids = [r for r in tt_store.tt_bitmap.iter_set() if r in allowed]
+            total = tt_store.tt_bitmap.count()
+        else:
+            rowids = [r for r in tt_store.tt_rowids if r in allowed]
+            total = len(tt_store.tt_rowids)
+        if stats is not None:
+            stats.rows_scanned += total
+            stats.fact_fetches += len(rowids)
+        if not rowids:
+            continue
+        fact_rows = cache.fetch_many(
+            sorted(rowids), sorted_hint=True
+        )
+        for fact_row in fact_rows:
+            dims = schema.project_to_node(schema.dim_values(fact_row), node)
+            aggregates = aggregate_singleton(
+                schema.aggregates, schema.measures(fact_row)
+            )
+            answer.append((dims, aggregates))
+    if stats is not None:
+        stats.tuples_returned += len(answer)
+    return answer

@@ -1,0 +1,95 @@
+"""Query workloads used by the paper's evaluation.
+
+Section 7 uses two workload shapes:
+
+* "1,000 random node queries, which perform no selection" for the real
+  datasets (Figure 16) — :func:`random_node_queries`;
+* "all possible (168) node queries in APB-1 … separated into ten
+  equal-sized sets … ordering the queries according to the number of
+  tuples they return" (Figure 25) — :func:`all_node_queries` plus
+  :func:`bucket_queries_by_result_size`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.model import CubeSchema
+from repro.lattice.node import CubeNode
+
+
+def random_node_queries(
+    schema: CubeSchema, n: int, seed: int = 11, flat: bool = False
+) -> list[CubeNode]:
+    """``n`` uniformly random node queries (repeats allowed, as any random
+    workload would produce).
+
+    With ``flat=True`` only the base-level ``2^D`` nodes are drawn, which
+    matches the flat-cube experiments.
+    """
+    rng = random.Random(seed)
+    if flat:
+        nodes = list(schema.lattice.flat_nodes())
+        return [nodes[rng.randrange(len(nodes))] for _ in range(n)]
+    total = schema.enumerator.n_nodes
+    return [schema.decode_node(rng.randrange(total)) for _ in range(n)]
+
+
+def random_rollup_queries(
+    schema: CubeSchema, n: int, seed: int = 11
+) -> list[CubeNode]:
+    """``n`` random queries at coarse granularities (no base levels).
+
+    These are the "roll-up/drill-down queries" of Figure 28: every
+    grouping dimension sits at a level above its base (dimensions whose
+    hierarchy is a single level can only appear as ALL).  A flat cube must
+    re-aggregate its base-level node on the fly to answer them; a
+    hierarchical cube reads the node directly.
+    """
+    rng = random.Random(seed)
+    queries: list[CubeNode] = []
+    for _ in range(n):
+        levels = []
+        for dimension in schema.dimensions:
+            choices = list(range(1, dimension.n_levels_with_all))
+            levels.append(choices[rng.randrange(len(choices))])
+        queries.append(CubeNode(tuple(levels)))
+    return queries
+
+
+def all_node_queries(schema: CubeSchema, flat: bool = False) -> list[CubeNode]:
+    """Every node of the lattice, in node-id order."""
+    if flat:
+        return list(schema.lattice.flat_nodes())
+    return list(schema.lattice.nodes())
+
+
+def bucket_queries_by_result_size(
+    queries: list[CubeNode],
+    result_sizes: list[int],
+    n_buckets: int = 10,
+) -> list[list[CubeNode]]:
+    """Order queries by result size and split into equal-sized buckets.
+
+    The first bucket holds the smallest queries, mirroring Figure 25's
+    x-axis ("maximum number of tuples in result").  When the query count
+    does not divide evenly the early buckets get the extra members.
+    """
+    if len(queries) != len(result_sizes):
+        raise ValueError("one result size per query is required")
+    if n_buckets < 1:
+        raise ValueError("need at least one bucket")
+    ordered = [
+        query
+        for _size, _index, query in sorted(
+            zip(result_sizes, range(len(queries)), queries)
+        )
+    ]
+    buckets: list[list[CubeNode]] = []
+    base, extra = divmod(len(ordered), n_buckets)
+    start = 0
+    for index in range(n_buckets):
+        size = base + (1 if index < extra else 0)
+        buckets.append(ordered[start : start + size])
+        start += size
+    return buckets

@@ -1,0 +1,186 @@
+"""Aggregate functions for cube construction.
+
+The cube stores, per output tuple, a vector of aggregate values computed
+over a set of fact tuples.  CURE's correctness arguments need two
+properties this module makes explicit:
+
+* **Distributivity** — partial aggregates can be merged.  Observation 3 of
+  Section 4 (building coarse nodes from the pre-aggregated node ``N``)
+  only holds for distributive/algebraic functions; holistic ones (e.g.
+  MEDIAN) are rejected by the partitioned path.
+* **Exact equality** — CAT detection compares aggregate value vectors for
+  equality, so aggregates are kept integral (INT64) throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class AggregateFunction:
+    """One aggregate over a single measure column.
+
+    Subclasses define how a measure value enters (``from_value``), how two
+    partial aggregates merge (``merge``), and how a whole array of partials
+    reduces at once (``reduce`` — the vectorized path cube construction
+    uses).  ``distributive`` is False for holistic functions, which cannot
+    be merged from partials.
+    """
+
+    name = "abstract"
+    distributive = True
+    ufunc: np.ufunc | None = None  # segmented-reduction kernel (reduceat)
+
+    def from_value(self, value: int) -> int:
+        """The aggregate of a singleton set {value}."""
+        raise NotImplementedError
+
+    def merge(self, left: int, right: int) -> int:
+        """Combine two partial aggregates."""
+        raise NotImplementedError
+
+    def reduce(self, partials: np.ndarray) -> int:
+        """Merge an array of partial aggregates (must agree with merge)."""
+        raise NotImplementedError
+
+
+class SumAgg(AggregateFunction):
+    name = "sum"
+    ufunc = np.add
+
+    def from_value(self, value: int) -> int:
+        return value
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+    def reduce(self, partials: np.ndarray) -> int:
+        return int(partials.sum())
+
+
+class CountAgg(AggregateFunction):
+    name = "count"
+    ufunc = np.add
+
+    def from_value(self, value: int) -> int:
+        return 1
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+    def reduce(self, partials: np.ndarray) -> int:
+        return int(partials.sum())
+
+
+class MinAgg(AggregateFunction):
+    name = "min"
+    ufunc = np.minimum
+
+    def from_value(self, value: int) -> int:
+        return value
+
+    def merge(self, left: int, right: int) -> int:
+        return left if left <= right else right
+
+    def reduce(self, partials: np.ndarray) -> int:
+        return int(partials.min())
+
+
+class MaxAgg(AggregateFunction):
+    name = "max"
+    ufunc = np.maximum
+
+    def from_value(self, value: int) -> int:
+        return value
+
+    def merge(self, left: int, right: int) -> int:
+        return left if left >= right else right
+
+    def reduce(self, partials: np.ndarray) -> int:
+        return int(partials.max())
+
+
+class MedianAgg(AggregateFunction):
+    """Holistic placeholder: present so the partitioned path can refuse it.
+
+    The in-memory path could support holistic functions by keeping full
+    value lists, but the paper's partitioning correctness (observation 3)
+    explicitly excludes them, so we mirror that restriction.
+    """
+
+    name = "median"
+    distributive = False
+
+    def from_value(self, value: int) -> int:
+        return value
+
+    def merge(self, left: int, right: int) -> int:
+        raise TypeError("median is holistic and cannot merge partials")
+
+
+_BY_NAME = {
+    cls.name: cls for cls in (SumAgg, CountAgg, MinAgg, MaxAgg, MedianAgg)
+}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate function applied to one measure column of the fact table.
+
+    ``measure_index`` indexes into the fact table's measure columns (not
+    the full tuple).  COUNT ignores the measure value but still needs a
+    valid index for uniform treatment.
+    """
+
+    function: AggregateFunction
+    measure_index: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.function.name}_{self.measure_index}"
+
+    @property
+    def distributive(self) -> bool:
+        return self.function.distributive
+
+
+def make_aggregates(*specs: tuple[str, int]) -> tuple[AggregateSpec, ...]:
+    """Build aggregate specs from ``(function_name, measure_index)`` pairs.
+
+    >>> [spec.name for spec in make_aggregates(("sum", 0), ("count", 0))]
+    ['sum_0', 'count_0']
+    """
+    built = []
+    for function_name, measure_index in specs:
+        try:
+            function_cls = _BY_NAME[function_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown aggregate {function_name!r}; "
+                f"known: {sorted(_BY_NAME)}"
+            ) from None
+        built.append(AggregateSpec(function_cls(), measure_index))
+    return tuple(built)
+
+
+def aggregate_singleton(
+    specs: tuple[AggregateSpec, ...], measures: tuple[int, ...]
+) -> tuple[int, ...]:
+    """The aggregate vector of a single fact tuple's measures."""
+    return tuple(
+        spec.function.from_value(measures[spec.measure_index]) for spec in specs
+    )
+
+
+def merge_vectors(
+    specs: tuple[AggregateSpec, ...],
+    left: tuple[int, ...],
+    right: tuple[int, ...],
+) -> tuple[int, ...]:
+    """Merge two partial aggregate vectors component-wise."""
+    return tuple(
+        spec.function.merge(left_value, right_value)
+        for spec, left_value, right_value in zip(specs, left, right)
+    )

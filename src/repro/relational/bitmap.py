@@ -1,0 +1,76 @@
+"""Bitmap indices over row-id ranges.
+
+CURE+ (Section 5.3 of the paper) optionally replaces per-node lists of
+row-ids (TT relations, and CAT relations under format (a)) with bitmaps
+over the referenced relation: bit ``i`` set means row-id ``i`` belongs to
+the node.  A bitmap costs ``ceil(universe / 8)`` bytes regardless of how
+many bits are set, so the conversion pays off only when the row-id list is
+long — the same trade-off the paper notes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+_ROWID_BYTES = 4  # size of one stored row-id, matching ColumnType.INT32
+
+
+@dataclass
+class Bitmap:
+    """A fixed-universe bitmap with set/test/iterate operations."""
+
+    universe: int
+    _bits: bytearray = field(default_factory=bytearray, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.universe < 0:
+            raise ValueError("bitmap universe must be non-negative")
+        if not self._bits:
+            self._bits = bytearray((self.universe + 7) // 8)
+
+    @classmethod
+    def from_rowids(cls, rowids: Iterable[int], universe: int) -> "Bitmap":
+        bitmap = cls(universe)
+        for rowid in rowids:
+            bitmap.set(rowid)
+        return bitmap
+
+    def set(self, rowid: int) -> None:
+        if rowid < 0 or rowid >= self.universe:
+            raise IndexError(f"row-id {rowid} outside universe {self.universe}")
+        self._bits[rowid >> 3] |= 1 << (rowid & 7)
+
+    def test(self, rowid: int) -> bool:
+        if rowid < 0 or rowid >= self.universe:
+            return False
+        return bool(self._bits[rowid >> 3] & (1 << (rowid & 7)))
+
+    def __contains__(self, rowid: int) -> bool:
+        return self.test(rowid)
+
+    def iter_set(self) -> Iterator[int]:
+        """Yield set row-ids in ascending order (sequential by design)."""
+        for byte_index, byte in enumerate(self._bits):
+            if not byte:
+                continue
+            base = byte_index << 3
+            for bit in range(8):
+                if byte & (1 << bit):
+                    yield base + bit
+
+    def count(self) -> int:
+        return sum(bin(byte).count("1") for byte in self._bits)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    @staticmethod
+    def beneficial(rowid_count: int, universe: int) -> bool:
+        """Is a bitmap smaller than storing ``rowid_count`` explicit row-ids?
+
+        This is the "only if the number of row-ids stored originally is
+        large enough" condition from Section 5.3.
+        """
+        return ((universe + 7) // 8) < rowid_count * _ROWID_BYTES

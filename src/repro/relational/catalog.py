@@ -1,0 +1,118 @@
+"""A catalog of named on-disk relations.
+
+The catalog plays the role of the host RDBMS's system tables: it maps
+relation names to heap files and schemas, persists schema metadata as JSON
+next to the data files, and can enumerate or drop relations.  CURE creates
+relations through the catalog for the fact table, partitions, and every
+cube node relation it materializes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.relational.heap import HeapFile
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+def _schema_to_json(schema: TableSchema) -> list[dict]:
+    return [
+        {"name": column.name, "type": column.type.value}
+        for column in schema.columns
+    ]
+
+
+def _schema_from_json(payload: list[dict]) -> TableSchema:
+    return TableSchema(
+        tuple(
+            Column(entry["name"], ColumnType(entry["type"]))
+            for entry in payload
+        )
+    )
+
+
+@dataclass
+class Catalog:
+    """Named heap-file relations rooted at one directory."""
+
+    root: Path
+    _open: dict[str, HeapFile] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _data_path(self, name: str) -> Path:
+        return self.root / f"{name}.dat"
+
+    def _meta_path(self, name: str) -> Path:
+        return self.root / f"{name}.schema.json"
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid relation name: {name!r}")
+
+    # -- relation management ---------------------------------------------------
+
+    def create(self, name: str, schema: TableSchema) -> HeapFile:
+        """Create an empty relation; fails if the name already exists."""
+        self._check_name(name)
+        if self.exists(name):
+            raise ValueError(f"relation {name!r} already exists")
+        self._meta_path(name).write_text(json.dumps(_schema_to_json(schema)))
+        heap = HeapFile(self._data_path(name), schema)
+        self._open[name] = heap
+        return heap
+
+    def open(self, name: str) -> HeapFile:
+        """Open an existing relation (cached per catalog)."""
+        if name in self._open:
+            return self._open[name]
+        meta_path = self._meta_path(name)
+        if not meta_path.exists():
+            raise KeyError(f"no relation named {name!r} in {self.root}")
+        schema = _schema_from_json(json.loads(meta_path.read_text()))
+        heap = HeapFile(self._data_path(name), schema)
+        self._open[name] = heap
+        return heap
+
+    def exists(self, name: str) -> bool:
+        return self._meta_path(name).exists()
+
+    def drop(self, name: str) -> None:
+        """Remove a relation's data and metadata."""
+        heap = self._open.pop(name, None)
+        if heap is not None:
+            heap.close()
+        self._meta_path(name).unlink(missing_ok=True)
+        self._data_path(name).unlink(missing_ok=True)
+
+    def names(self) -> list[str]:
+        """All relation names, sorted."""
+        return sorted(
+            path.name[: -len(".schema.json")]
+            for path in self.root.glob("*.schema.json")
+        )
+
+    def total_size_bytes(self) -> int:
+        """Total on-disk data size across all relations."""
+        return sum(self.open(name).size_bytes for name in self.names())
+
+    def close(self) -> None:
+        for heap in self._open.values():
+            heap.close()
+        self._open.clear()
+
+    def destroy(self) -> None:
+        """Close and delete the whole catalog directory."""
+        self.close()
+        shutil.rmtree(self.root, ignore_errors=True)

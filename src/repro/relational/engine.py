@@ -1,0 +1,89 @@
+"""Engine facade: catalog + memory manager + load/store operations.
+
+The :class:`Engine` is what CURE means by "a ROLAP engine": named relations
+on disk, loads that respect a memory budget, and bookkeeping of I/O.  All
+higher layers (cube construction, partitioning, query answering) go through
+it rather than touching files directly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.relational.catalog import Catalog
+from repro.relational.heap import HeapFile
+from repro.relational.memory import MemoryManager
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+@dataclass
+class LoadedTable:
+    """A table loaded under a memory reservation.
+
+    Use as a context manager so the reservation is released when the table
+    goes out of scope — mirroring a buffer-pool unpin.
+    """
+
+    table: Table
+    _memory: MemoryManager
+    _token: int
+    _released: bool = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._memory.release(self._token)
+            self._released = True
+
+    def __enter__(self) -> Table:
+        return self.table
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@dataclass
+class Engine:
+    """Facade over a catalog directory and a simulated memory budget."""
+
+    catalog: Catalog
+    memory: MemoryManager = field(default_factory=MemoryManager)
+
+    @classmethod
+    def temporary(cls, memory_budget_bytes: int | None = None) -> "Engine":
+        """An engine over a fresh temporary directory (caller may destroy)."""
+        root = Path(tempfile.mkdtemp(prefix="repro-rolap-"))
+        return cls(Catalog(root), MemoryManager(memory_budget_bytes))
+
+    # -- relation operations -------------------------------------------------
+
+    def create_relation(self, name: str, schema: TableSchema) -> HeapFile:
+        return self.catalog.create(name, schema)
+
+    def relation(self, name: str) -> HeapFile:
+        return self.catalog.open(name)
+
+    def store_table(self, name: str, table: Table) -> HeapFile:
+        """Materialize an in-memory table as a new named relation."""
+        heap = self.catalog.create(name, table.schema)
+        heap.append_many(table.rows)
+        heap.flush()
+        return heap
+
+    def relation_fits_in_memory(self, name: str) -> bool:
+        """The paper's ``inputRelation.size() < memorySize`` test."""
+        return self.memory.fits(self.relation(name).size_bytes)
+
+    def load(self, name: str) -> LoadedTable:
+        """Load a relation fully into memory under a budget reservation."""
+        heap = self.relation(name)
+        token = self.memory.reserve(heap.size_bytes, what=f"load({name})")
+        return LoadedTable(heap.load(), self.memory, token)
+
+    def close(self) -> None:
+        self.catalog.close()
+
+    def destroy(self) -> None:
+        self.catalog.destroy()

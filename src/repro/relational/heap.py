@@ -1,0 +1,215 @@
+"""Disk-backed heap files: fixed-width records addressed by row-id.
+
+This is the substrate's answer to "the fact table lives on disk".  A heap
+file stores packed records of a fixed schema; row-id ``i`` lives at byte
+offset ``i * row_size``.  The CURE query layer depends on two access
+patterns this module makes explicit:
+
+* random fetch by row-id (``read_row`` / ``read_rows``) — what NT/TT/CAT
+  row-id dereferencing costs without a cache, and
+* a single sequential pass selecting sorted row-ids
+  (``read_rows_sequential``) — what CURE+'s sorted row-id lists and bitmap
+  indices buy (Section 5.3 of the paper).
+
+I/O statistics are counted so benchmarks can report machine-independent
+cost numbers alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+@dataclass
+class HeapStats:
+    """I/O counters for one heap file."""
+
+    rows_written: int = 0
+    rows_read: int = 0
+    random_reads: int = 0
+    sequential_passes: int = 0
+
+    def reset(self) -> None:
+        self.rows_written = 0
+        self.rows_read = 0
+        self.random_reads = 0
+        self.sequential_passes = 0
+
+
+@dataclass
+class HeapFile:
+    """A fixed-width record file with positional row-ids.
+
+    The file is opened lazily and kept open for the object's lifetime; call
+    :meth:`close` (or use the object as a context manager) when done.
+    """
+
+    path: Path
+    schema: TableSchema
+    stats: HeapStats = field(default_factory=HeapStats)
+    _handle: object | None = field(default=None, repr=False)
+    _row_count: int | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+        self._struct = struct.Struct(self.schema.struct_format)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _file(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            mode = "r+b" if self.path.exists() else "w+b"
+            self._handle = open(self.path, mode)
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "HeapFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def row_size(self) -> int:
+        return self._struct.size
+
+    def __len__(self) -> int:
+        if self._row_count is None:
+            if self.path.exists():
+                self._row_count = os.path.getsize(self.path) // self.row_size
+            else:
+                self._row_count = 0
+        return self._row_count
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self) * self.row_size
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, row: tuple) -> int:
+        """Append one record; returns its row-id."""
+        rowid = len(self)
+        handle = self._file()
+        handle.seek(0, os.SEEK_END)
+        handle.write(self._struct.pack(*row))
+        self.stats.rows_written += 1
+        self._row_count = rowid + 1
+        return rowid
+
+    def append_many(self, rows: Iterable[tuple]) -> int:
+        """Append many records; returns the count written."""
+        # Resolve the current count before buffering writes: the file size
+        # on disk lags the handle's buffer, so it must not be consulted
+        # afterwards.
+        current = len(self)
+        handle = self._file()
+        handle.seek(0, os.SEEK_END)
+        pack = self._struct.pack
+        written = 0
+        buffer: list[bytes] = []
+        for row in rows:
+            buffer.append(pack(*row))
+            written += 1
+            if len(buffer) >= 4096:
+                handle.write(b"".join(buffer))
+                buffer.clear()
+        if buffer:
+            handle.write(b"".join(buffer))
+        self.stats.rows_written += written
+        self._row_count = current + written
+        return written
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    # -- reading -----------------------------------------------------------
+
+    def read_row(self, rowid: int) -> tuple:
+        """Random fetch of one record by row-id."""
+        if rowid < 0 or rowid >= len(self):
+            raise IndexError(f"row-id {rowid} out of range [0, {len(self)})")
+        handle = self._file()
+        handle.seek(rowid * self.row_size)
+        data = handle.read(self.row_size)
+        self.stats.rows_read += 1
+        self.stats.random_reads += 1
+        return self._struct.unpack(data)
+
+    def read_rows(self, rowids: Iterable[int]) -> list[tuple]:
+        """Random fetches of several records, in the given order."""
+        return [self.read_row(rowid) for rowid in rowids]
+
+    def read_rows_sequential(self, sorted_rowids: list[int]) -> list[tuple]:
+        """One sequential pass selecting ``sorted_rowids`` (must ascend).
+
+        This models the access pattern CURE+ achieves by sorting row-ids
+        (or using bitmap indices): a single scan instead of random seeks.
+        """
+        if not sorted_rowids:
+            return []
+        if any(b < a for a, b in zip(sorted_rowids, sorted_rowids[1:])):
+            raise ValueError("read_rows_sequential requires ascending row-ids")
+        handle = self._file()
+        self.stats.sequential_passes += 1
+        result: list[tuple] = []
+        unpack = self._struct.unpack
+        row_size = self.row_size
+        # Read the covered range in chunks, picking out the wanted rows.
+        first, last = sorted_rowids[0], sorted_rowids[-1]
+        handle.seek(first * row_size)
+        wanted = iter(sorted_rowids)
+        next_wanted = next(wanted)
+        chunk_rows = 8192
+        rowid = first
+        while rowid <= last:
+            data = handle.read(min(chunk_rows, last - rowid + 1) * row_size)
+            if not data:
+                break
+            for offset in range(0, len(data), row_size):
+                if rowid == next_wanted:
+                    result.append(unpack(data[offset : offset + row_size]))
+                    self.stats.rows_read += 1
+                    try:
+                        next_wanted = next(wanted)
+                        while next_wanted == rowid:  # tolerate duplicates
+                            result.append(result[-1])
+                            next_wanted = next(wanted)
+                    except StopIteration:
+                        return result
+                rowid += 1
+        return result
+
+    def scan(self) -> Iterator[tuple]:
+        """Sequential scan of every record."""
+        handle = self._file()
+        handle.seek(0)
+        self.stats.sequential_passes += 1
+        unpack = self._struct.unpack
+        row_size = self.row_size
+        while True:
+            data = handle.read(row_size * 8192)
+            if not data:
+                return
+            for offset in range(0, len(data), row_size):
+                self.stats.rows_read += 1
+                yield unpack(data[offset : offset + row_size])
+
+    def load(self) -> Table:
+        """Read the whole file into an in-memory :class:`Table`."""
+        return Table(self.schema, list(self.scan()))

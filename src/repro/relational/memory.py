@@ -1,0 +1,73 @@
+"""Accounting memory manager: decides when a relation "fits in memory".
+
+The paper's external-partitioning machinery (Section 4) exists only because
+real machines have bounded memory.  In this reproduction physical memory is
+plentiful relative to the scaled datasets, so the budget is *simulated*: a
+:class:`MemoryManager` is given a byte budget and every load of a relation
+into a :class:`~repro.relational.table.Table` is checked against it.  The
+partitioning code consults the same budget when selecting the partition
+level, exactly mirroring the ``inputRelation.size() < memorySize`` test of
+Figure 13 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Raised when a load would exceed the simulated memory budget."""
+
+
+@dataclass
+class MemoryManager:
+    """Tracks a simulated memory budget in bytes.
+
+    ``budget_bytes=None`` means unbounded (the all-in-memory fast path).
+    ``peak_bytes`` records the high-water mark, which tests use to assert
+    that partitioned runs truly stay within budget.
+    """
+
+    budget_bytes: int | None = None
+    used_bytes: int = 0
+    peak_bytes: int = 0
+    _reservations: dict[int, int] = field(default_factory=dict, repr=False)
+    _next_token: int = 0
+
+    def fits(self, size_bytes: int) -> bool:
+        """Would ``size_bytes`` more fit within the budget right now?"""
+        if self.budget_bytes is None:
+            return True
+        return self.used_bytes + size_bytes <= self.budget_bytes
+
+    def reserve(self, size_bytes: int, what: str = "") -> int:
+        """Claim ``size_bytes``; returns a token for :meth:`release`.
+
+        Raises :class:`MemoryBudgetExceeded` if the claim does not fit.
+        """
+        if not self.fits(size_bytes):
+            raise MemoryBudgetExceeded(
+                f"cannot reserve {size_bytes} bytes for {what or 'load'}: "
+                f"{self.used_bytes} of {self.budget_bytes} in use"
+            )
+        self.used_bytes += size_bytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        token = self._next_token
+        self._next_token += 1
+        self._reservations[token] = size_bytes
+        return token
+
+    def release(self, token: int) -> None:
+        """Return a previous reservation to the pool."""
+        size = self._reservations.pop(token)
+        self.used_bytes -= size
+
+    def release_all(self) -> None:
+        self._reservations.clear()
+        self.used_bytes = 0
+
+    @property
+    def free_bytes(self) -> int | None:
+        if self.budget_bytes is None:
+            return None
+        return self.budget_bytes - self.used_bytes

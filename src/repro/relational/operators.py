@@ -1,0 +1,251 @@
+"""Iterator-based physical operators over relations.
+
+The substrate's query-execution layer: small, composable, pull-based
+operators in the textbook Volcano style.  CURE itself uses specialized
+bulk paths for cube construction (:mod:`repro.core.segments`), but the
+operator layer is what makes the engine a *relational* engine — cube
+relations persisted by :meth:`CubeStorage.persist` are ordinary relations
+and can be scanned, filtered, projected, joined and aggregated like any
+other, which is the ROLAP-compatibility story of the paper.
+
+Operators iterate tuples; ``columns()`` exposes the output schema names.
+
+>>> from repro.relational.schema import TableSchema
+>>> from repro.relational.table import Table
+>>> table = Table(TableSchema.of("a", "b"), [(1, 10), (2, 20), (1, 30)])
+>>> plan = HashAggregate(
+...     TableScan(table), group_by=["a"], aggregates=[("sum", "b")]
+... )
+>>> sorted(plan)
+[(1, 40), (2, 20)]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.relational.aggregates import AggregateFunction, make_aggregates
+from repro.relational.heap import HeapFile
+from repro.relational.table import Table
+
+
+class Operator:
+    """Base class: an iterable of tuples with a known column list."""
+
+    def columns(self) -> list[str]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def to_table(self) -> Table:
+        """Materialize the operator's output as an in-memory table."""
+        from repro.relational.schema import TableSchema
+
+        return Table(TableSchema.of(*self.columns()), list(self))
+
+
+class TableScan(Operator):
+    """Scan an in-memory table."""
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+
+    def columns(self) -> list[str]:
+        return list(self._table.schema.names)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._table.rows)
+
+
+class HeapScan(Operator):
+    """Sequential scan of a disk-backed relation."""
+
+    def __init__(self, heap: HeapFile) -> None:
+        self._heap = heap
+
+    def columns(self) -> list[str]:
+        return list(self._heap.schema.names)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self._heap.scan()
+
+
+class Selection(Operator):
+    """Filter rows by a predicate over named columns.
+
+    The predicate receives a dict of column name → value, which keeps
+    call sites readable at the cost of a per-row dict — acceptable for
+    the operator layer (bulk paths bypass it).
+    """
+
+    def __init__(
+        self, child: Operator, predicate: Callable[[dict], bool]
+    ) -> None:
+        self._child = child
+        self._predicate = predicate
+        self._names = child.columns()
+
+    def columns(self) -> list[str]:
+        return list(self._names)
+
+    def __iter__(self) -> Iterator[tuple]:
+        names = self._names
+        for row in self._child:
+            if self._predicate(dict(zip(names, row))):
+                yield row
+
+
+class Projection(Operator):
+    """Keep (and reorder) the named columns."""
+
+    def __init__(self, child: Operator, names: list[str]) -> None:
+        child_names = child.columns()
+        missing = [n for n in names if n not in child_names]
+        if missing:
+            raise KeyError(f"projection of unknown columns: {missing}")
+        self._child = child
+        self._names = list(names)
+        self._positions = [child_names.index(n) for n in names]
+
+    def columns(self) -> list[str]:
+        return list(self._names)
+
+    def __iter__(self) -> Iterator[tuple]:
+        positions = self._positions
+        for row in self._child:
+            yield tuple(row[p] for p in positions)
+
+
+class HashAggregate(Operator):
+    """Group-by with the substrate's aggregate functions.
+
+    ``aggregates`` is a list of ``(function_name, column_name)`` pairs;
+    output columns are the group-by columns followed by one column per
+    aggregate, named ``<fn>_<column>``.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: list[str],
+        aggregates: list[tuple[str, str]],
+    ) -> None:
+        child_names = child.columns()
+        for name in group_by + [column for _fn, column in aggregates]:
+            if name not in child_names:
+                raise KeyError(f"unknown column {name!r}")
+        self._child = child
+        self._group_positions = [child_names.index(n) for n in group_by]
+        self._agg_positions = [
+            child_names.index(column) for _fn, column in aggregates
+        ]
+        self._functions: list[AggregateFunction] = [
+            spec.function
+            for spec in make_aggregates(
+                *[(fn, 0) for fn, _column in aggregates]
+            )
+        ]
+        self._names = list(group_by) + [
+            f"{fn}_{column}" for fn, column in aggregates
+        ]
+
+    def columns(self) -> list[str]:
+        return list(self._names)
+
+    def __iter__(self) -> Iterator[tuple]:
+        groups: dict[tuple, list] = {}
+        for row in self._child:
+            key = tuple(row[p] for p in self._group_positions)
+            partial = [
+                fn.from_value(row[p])
+                for fn, p in zip(self._functions, self._agg_positions)
+            ]
+            existing = groups.get(key)
+            if existing is None:
+                groups[key] = partial
+            else:
+                for index, fn in enumerate(self._functions):
+                    existing[index] = fn.merge(existing[index], partial[index])
+        for key, values in groups.items():
+            yield key + tuple(values)
+
+
+class OrderBy(Operator):
+    """Sort the child's output by the named columns (materializing)."""
+
+    def __init__(
+        self, child: Operator, names: list[str], descending: bool = False
+    ) -> None:
+        child_names = child.columns()
+        missing = [n for n in names if n not in child_names]
+        if missing:
+            raise KeyError(f"order by unknown columns: {missing}")
+        self._child = child
+        self._positions = [child_names.index(n) for n in names]
+        self._descending = descending
+        self._names = child_names
+
+    def columns(self) -> list[str]:
+        return list(self._names)
+
+    def __iter__(self) -> Iterator[tuple]:
+        rows = sorted(
+            self._child,
+            key=lambda row: tuple(row[p] for p in self._positions),
+            reverse=self._descending,
+        )
+        return iter(rows)
+
+
+class Limit(Operator):
+    """Stop after ``n`` rows."""
+
+    def __init__(self, child: Operator, n: int) -> None:
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self._child = child
+        self._n = n
+
+    def columns(self) -> list[str]:
+        return self._child.columns()
+
+    def __iter__(self) -> Iterator[tuple]:
+        remaining = self._n
+        for row in self._child:
+            if remaining <= 0:
+                return
+            yield row
+            remaining -= 1
+
+
+class HashJoin(Operator):
+    """Equi-join on one column per side (build left, probe right)."""
+
+    def __init__(
+        self, left: Operator, right: Operator, left_on: str, right_on: str
+    ) -> None:
+        left_names = left.columns()
+        right_names = right.columns()
+        if left_on not in left_names:
+            raise KeyError(f"unknown left column {left_on!r}")
+        if right_on not in right_names:
+            raise KeyError(f"unknown right column {right_on!r}")
+        self._left = left
+        self._right = right
+        self._left_position = left_names.index(left_on)
+        self._right_position = right_names.index(right_on)
+        self._names = left_names + [
+            f"r_{n}" if n in left_names else n for n in right_names
+        ]
+
+    def columns(self) -> list[str]:
+        return list(self._names)
+
+    def __iter__(self) -> Iterator[tuple]:
+        build: dict[object, list[tuple]] = {}
+        for row in self._left:
+            build.setdefault(row[self._left_position], []).append(row)
+        for row in self._right:
+            for match in build.get(row[self._right_position], ()):
+                yield match + row

@@ -1,0 +1,132 @@
+"""Relation schemas: typed, fixed-width columns addressable by name.
+
+Every relation in the reproduction (fact tables, partitions, cube node
+relations, the shared AGGREGATES relation) is described by a
+:class:`TableSchema`.  Schemas are deliberately simple — fixed-width integer
+columns dominate because dimension members are dictionary-encoded integer
+codes, as is standard in ROLAP engines.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+
+class ColumnType(enum.Enum):
+    """Physical column types supported by the substrate.
+
+    ``INT32`` covers dimension codes, row-ids, and node ids.  ``INT64``
+    covers measures and aggregates (sums over many tuples overflow 32
+    bits).  ``FLOAT64`` exists for completeness; cube aggregates in this
+    reproduction stay integral so that equality of aggregate values (the
+    basis of CAT detection) is exact.
+    """
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+
+    @property
+    def struct_code(self) -> str:
+        """The :mod:`struct` format character for this type."""
+        return {_I32: "i", _I64: "q", _F64: "d"}[self]
+
+    @property
+    def size_bytes(self) -> int:
+        """Physical width of one value of this type."""
+        return {_I32: 4, _I64: 8, _F64: 8}[self]
+
+
+_I32 = ColumnType.INT32
+_I64 = ColumnType.INT64
+_F64 = ColumnType.FLOAT64
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a relation."""
+
+    name: str
+    type: ColumnType = ColumnType.INT32
+
+    @property
+    def size_bytes(self) -> int:
+        return self.type.size_bytes
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered list of columns describing a relation's tuples.
+
+    The schema determines the on-disk record layout (via ``struct_format``)
+    and the logical tuple width used by the memory manager and the storage
+    accounting in :mod:`repro.core.storage`.
+    """
+
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        object.__setattr__(
+            self, "_index", {name: i for i, name in enumerate(names)}
+        )
+
+    @classmethod
+    def of(cls, *columns: Column | str) -> "TableSchema":
+        """Build a schema from columns, or bare names (defaulting to INT32)."""
+        built = tuple(
+            column if isinstance(column, Column) else Column(column)
+            for column in columns
+        )
+        return cls(built)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    @property
+    def row_size_bytes(self) -> int:
+        """Width of one packed record, in bytes."""
+        return struct.calcsize(self.struct_format)
+
+    @property
+    def struct_format(self) -> str:
+        """The :mod:`struct` format string for one record (standard sizes)."""
+        return "<" + "".join(column.type.struct_code for column in self.columns)
+
+    def position(self, name: str) -> int:
+        """Index of column ``name`` within a tuple.
+
+        Raises ``KeyError`` with a helpful message for unknown columns.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    def project(self, names: list[str] | tuple[str, ...]) -> "TableSchema":
+        """A new schema containing only ``names``, in the given order."""
+        return TableSchema(tuple(self.column(name) for name in names))
+
+    def validate_row(self, row: tuple) -> None:
+        """Check that ``row`` has the right arity (types are duck-checked)."""
+        if len(row) != self.arity:
+            raise ValueError(
+                f"row arity {len(row)} does not match schema arity {self.arity}"
+            )

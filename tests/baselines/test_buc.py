@@ -1,0 +1,77 @@
+"""Unit tests for the BUC baseline."""
+
+import pytest
+
+from repro import Table
+from repro.baselines.buc import build_buc_cube
+from repro.lattice.node import CubeNode
+from repro.query import answer_buc_query, reference_group_by
+from repro.query.answer import normalize_answer
+
+
+def test_full_cube_every_node_correct(flat_schema, figure9_table):
+    cube, _stats = build_buc_cube(flat_schema, figure9_table)
+    for node in flat_schema.lattice.nodes():
+        expected = reference_group_by(flat_schema, figure9_table.rows, node)
+        got = normalize_answer(answer_buc_query(cube, node))
+        assert got == expected
+
+
+def test_total_tuples_is_full_cube_size(flat_schema, figure9_table):
+    cube, _stats = build_buc_cube(flat_schema, figure9_table)
+    expected = sum(
+        len(reference_group_by(flat_schema, figure9_table.rows, node))
+        for node in flat_schema.lattice.nodes()
+    )
+    assert cube.total_tuples == expected
+
+
+def test_no_redundancy_elimination(flat_schema, figure9_table):
+    """BUC materializes every node tuple; CURE's TT count shows how much
+    of that is redundant."""
+    from repro import build_cube
+
+    buc, _stats = build_buc_cube(flat_schema, figure9_table)
+    cure = build_cube(flat_schema, table=figure9_table)
+    report = cure.storage.size_report()
+    assert buc.total_tuples > report.n_nt + report.n_tt + report.n_cat
+
+
+def test_analytic_mode_counts_match_materialized(flat_schema, figure9_table):
+    materialized, _s = build_buc_cube(flat_schema, figure9_table)
+    analytic, _s = build_buc_cube(
+        flat_schema, figure9_table, materialize=False
+    )
+    assert analytic.total_tuples == materialized.total_tuples
+    assert analytic.size_report_bytes() == materialized.size_report_bytes()
+
+
+def test_analytic_mode_cannot_be_queried(flat_schema, figure9_table):
+    cube, _stats = build_buc_cube(flat_schema, figure9_table, materialize=False)
+    with pytest.raises(ValueError, match="analytically"):
+        answer_buc_query(cube, CubeNode((0, 1, 1)))
+
+
+def test_iceberg_min_count_prunes(flat_schema):
+    rows = [(0, 0, 0, 5)] * 3 + [(1, 1, 1, 7)]
+    table = Table(flat_schema.fact_schema, rows)
+    cube, _stats = build_buc_cube(flat_schema, table, min_count=2)
+    # Every node survives with exactly one group: the (0,0,0) triple —
+    # except ∅, whose single group covers all four tuples (sum 22).
+    assert cube.total_tuples == 8
+    all_node_id = flat_schema.node_id(flat_schema.lattice.all_node)
+    for node_id, rows_ in cube.nodes.items():
+        expected_sum = 22 if node_id == all_node_id else 15
+        assert [row[-1] for row in rows_] == [expected_sum]
+
+
+def test_empty_table(flat_schema):
+    cube, _stats = build_buc_cube(flat_schema, Table(flat_schema.fact_schema, []))
+    assert cube.total_tuples == 0
+
+
+def test_stats_reasonable(flat_schema, figure9_table):
+    cube, stats = build_buc_cube(flat_schema, figure9_table)
+    assert stats.tuples_written == cube.total_tuples
+    assert stats.elapsed_seconds > 0
+    assert stats.sort.keys_sorted > 0

@@ -1,0 +1,236 @@
+"""Unit and integration tests for incremental cube maintenance (§8)."""
+
+import random
+
+import pytest
+
+from repro import CubeSchema, Table, build_cube, flat_dimension, make_aggregates
+from repro.core.incremental import apply_delta, drift_report
+from repro.core.variants import VARIANTS
+from repro.query import FactCache, answer_cure_query, reference_group_by
+from repro.query.answer import normalize_answer
+
+
+def make_instance(paper_schema, n_base, n_delta, seed):
+    rng = random.Random(seed)
+
+    def row():
+        return (
+            rng.randrange(12), rng.randrange(8), rng.randrange(5),
+            rng.randrange(30),
+        )
+
+    base = Table(paper_schema.fact_schema, [row() for _ in range(n_base)])
+    delta = [row() for _ in range(n_delta)]
+    return base, delta
+
+
+def assert_equals_reference(schema, table, storage):
+    cache = FactCache(schema, table=table)
+    for node in schema.lattice.nodes():
+        expected = reference_group_by(schema, table.rows, node)
+        got = normalize_answer(answer_cure_query(storage, cache, node))
+        assert got == expected, node.label(schema.dimensions)
+
+
+def test_single_update_matches_rebuild(paper_schema):
+    base, delta = make_instance(paper_schema, 150, 30, seed=1)
+    result = build_cube(paper_schema, table=base)
+    report = apply_delta(result.storage, paper_schema, base, delta)
+    assert report.delta_rows == 30
+    assert len(base) == 180  # delta appended to the fact table
+    assert_equals_reference(paper_schema, base, result.storage)
+
+
+def test_multiple_update_rounds(paper_schema):
+    base, _unused = make_instance(paper_schema, 80, 0, seed=2)
+    result = build_cube(paper_schema, table=base)
+    rng = random.Random(3)
+    for round_index in range(4):
+        delta = [
+            (rng.randrange(12), rng.randrange(8), rng.randrange(5),
+             rng.randrange(30))
+            for _ in range(15)
+        ]
+        apply_delta(result.storage, paper_schema, base, delta)
+    assert len(base) == 80 + 4 * 15
+    assert_equals_reference(paper_schema, base, result.storage)
+
+
+def test_update_of_empty_cube(paper_schema):
+    base = Table(paper_schema.fact_schema, [])
+    result = build_cube(paper_schema, table=base)
+    result.storage.row_resolver = lambda rowid: paper_schema.dim_values(
+        base[rowid]
+    )
+    _b, delta = make_instance(paper_schema, 0, 20, seed=4)
+    apply_delta(result.storage, paper_schema, base, delta)
+    assert_equals_reference(paper_schema, base, result.storage)
+
+
+def test_empty_delta_is_noop(paper_schema):
+    base, _d = make_instance(paper_schema, 50, 0, seed=5)
+    result = build_cube(paper_schema, table=base)
+    before = result.storage.size_report().total_bytes
+    report = apply_delta(result.storage, paper_schema, base, [])
+    assert report.delta_rows == 0
+    assert result.storage.size_report().total_bytes == before
+
+
+def test_duplicate_of_existing_tt_devalues_it(flat_schema):
+    rows = [(0, 0, 0, 5), (1, 1, 1, 7)]
+    base = Table(flat_schema.fact_schema, rows)
+    result = build_cube(flat_schema, table=base)
+    report = apply_delta(
+        result.storage, flat_schema, base, [(0, 0, 0, 3)]
+    )
+    assert report.tts_devalued >= 1
+    assert_equals_reference(flat_schema, base, result.storage)
+
+
+def test_new_region_gets_shared_tts(flat_schema):
+    """A delta row in untouched space becomes shared TTs, not 2^D NTs.
+
+    A from-scratch build stores such a row as one TT per first-level plan
+    sub-tree (A, B and C — the root ∅ is non-trivial); the incremental
+    path must produce exactly the same sharing.
+    """
+    rows = [(0, 0, 0, 5)] * 3
+    base = Table(flat_schema.fact_schema, rows)
+    result = build_cube(flat_schema, table=base)
+    report = apply_delta(
+        result.storage, flat_schema, base, [(2, 2, 2, 9)]
+    )
+    rebuilt = build_cube(flat_schema, table=base)
+    rebuilt_tts = sum(
+        len(s.tt_rowids) for s in rebuilt.storage.nodes.values()
+    )
+    updated_tts = sum(
+        len(s.tt_rowids) for s in result.storage.nodes.values()
+    )
+    assert report.new_tts == 3  # one per sub-tree, never 2^D copies
+    assert report.new_nts == 0
+    assert updated_tts == rebuilt_tts
+    assert_equals_reference(flat_schema, base, result.storage)
+
+
+def test_cat_demotion(flat_schema, figure9_table):
+    """Updating a group stored as a CAT demotes it to an NT."""
+    base = Table(flat_schema.fact_schema, list(figure9_table.rows))
+    result = build_cube(flat_schema, table=base)
+    # Group (A=0) is part of the common-source CAT <1,30>; touch it.
+    report = apply_delta(result.storage, flat_schema, base, [(0, 2, 1, 4)])
+    assert report.cats_demoted >= 1
+    assert_equals_reference(flat_schema, base, result.storage)
+
+
+def test_updates_on_flat_fcure_cube(paper_schema):
+    base, delta = make_instance(paper_schema, 100, 20, seed=6)
+    result, _plus = VARIANTS["FCURE"].build(paper_schema, table=base)
+    apply_delta(result.storage, paper_schema, base, delta)
+    cache = FactCache(paper_schema, table=base)
+    for node in paper_schema.lattice.flat_nodes():
+        expected = reference_group_by(paper_schema, base.rows, node)
+        got = normalize_answer(
+            answer_cure_query(result.storage, cache, node)
+        )
+        assert got == expected
+
+
+def test_rejects_dr_and_partitioned_cubes(paper_schema):
+    base, delta = make_instance(paper_schema, 40, 5, seed=7)
+    dr = build_cube(paper_schema, table=base, dr_mode=True)
+    with pytest.raises(ValueError, match="row-id based"):
+        apply_delta(dr.storage, paper_schema, base, delta)
+    plain = build_cube(paper_schema, table=base)
+    plain.storage.partition_level = 2
+    with pytest.raises(ValueError, match="partitioned"):
+        apply_delta(plain.storage, paper_schema, base, delta)
+
+
+def test_rejects_holistic(flat_schema, figure9_table):
+    from repro.relational.aggregates import AggregateSpec, MedianAgg
+
+    schema = CubeSchema(
+        flat_schema.dimensions, (AggregateSpec(MedianAgg(), 0),), 1
+    )
+    storage = build_cube(flat_schema, table=figure9_table).storage
+    base = Table(schema.fact_schema, list(figure9_table.rows))
+    with pytest.raises(ValueError, match="distributive"):
+        apply_delta(storage, schema, base, [(0, 0, 0, 1)])
+
+
+def test_validates_delta_rows(paper_schema):
+    base, _d = make_instance(paper_schema, 20, 0, seed=8)
+    result = build_cube(paper_schema, table=base)
+    with pytest.raises(ValueError, match="arity"):
+        apply_delta(result.storage, paper_schema, base, [(0, 0, 0)])
+
+
+def test_drift_is_bounded(paper_schema):
+    base, delta = make_instance(paper_schema, 200, 40, seed=9)
+    result = build_cube(paper_schema, table=base)
+    apply_delta(result.storage, paper_schema, base, delta)
+    drift = drift_report(result.storage, paper_schema, base)
+    assert drift.overhead_ratio >= 1.0  # never smaller than optimal
+    assert drift.overhead_ratio < 1.6  # ...and not wildly larger
+
+
+def test_min_rowid_maintained(flat_schema):
+    """Merged NTs keep the minimum source row-id (CURE's invariant)."""
+    base = Table(flat_schema.fact_schema, [(0, 0, 0, 5), (0, 0, 1, 6)])
+    result = build_cube(flat_schema, table=base)
+    apply_delta(result.storage, flat_schema, base, [(0, 0, 2, 7)])
+    # Node AB group (0,0) existed from rows {0,1}; min rowid must stay 0.
+    node_id = flat_schema.node_id(
+        flat_schema.lattice.base_node.with_level(2, 1)
+    )
+    store = result.storage.get_node_store(node_id)
+    assert any(row[0] == 0 for row in store.nt_rows)
+
+
+def test_update_of_plus_cube_devalues_bitmap_tts(paper_schema):
+    """A CURE+ cube (bitmap TTs, sorted lists) is de-plussed, updated
+    correctly, and can be re-plussed afterwards."""
+    from repro.core.postprocess import postprocess_plus
+
+    base, delta = make_instance(paper_schema, 150, 25, seed=10)
+    result = build_cube(paper_schema, table=base)
+    postprocess_plus(result.storage)
+    assert result.storage.plus_processed
+    apply_delta(result.storage, paper_schema, base, delta)
+    assert not result.storage.plus_processed  # sortedness no longer holds
+    assert_equals_reference(paper_schema, base, result.storage)
+    postprocess_plus(result.storage)
+    assert_equals_reference(paper_schema, base, result.storage)
+
+
+def test_partitioned_iceberg_matches_in_memory(paper_schema, tmp_path):
+    """Iceberg construction composes with external partitioning."""
+    from repro import Engine
+    from repro.relational.catalog import Catalog
+    from repro.relational.memory import MemoryManager
+
+    base, _d = make_instance(paper_schema, 400, 0, seed=11)
+    in_memory = build_cube(paper_schema, table=base, min_count=3)
+    budget = int(len(base) * paper_schema.fact_schema.row_size_bytes * 0.8)
+    engine = Engine(Catalog(tmp_path / "e"), MemoryManager(budget))
+    engine.store_table("fact", base)
+    partitioned = build_cube(
+        paper_schema, engine=engine, relation="fact",
+        pool_capacity=50, min_count=3,
+    )
+    assert partitioned.stats.partitioned
+    cache_a = FactCache(paper_schema, table=base)
+    cache_b = FactCache(
+        paper_schema, heap=engine.relation("fact"), fraction=1.0
+    )
+    for node in paper_schema.lattice.nodes():
+        a = normalize_answer(
+            answer_cure_query(in_memory.storage, cache_a, node)
+        )
+        b = normalize_answer(
+            answer_cure_query(partitioned.storage, cache_b, node)
+        )
+        assert a == b, node.label(paper_schema.dimensions)
+    engine.close()

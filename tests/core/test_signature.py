@@ -1,0 +1,145 @@
+"""Unit tests for signatures and the bounded pool (Section 5.2)."""
+
+import pytest
+
+from repro.core.signature import (
+    FormatStatistics,
+    Signature,
+    SignaturePool,
+    SignatureRun,
+)
+
+
+class Collector:
+    def __init__(self):
+        self.nts: list[Signature] = []
+        self.runs: list[SignatureRun] = []
+        self.statistics: list[FormatStatistics] = []
+
+    def pool(self, capacity):
+        return SignaturePool(
+            capacity,
+            on_nt=self.nts.append,
+            on_cats=self.runs.append,
+            on_statistics=self.statistics.append,
+        )
+
+
+def sig(aggs, rowid=0, node=0) -> Signature:
+    return Signature(tuple(aggs), rowid, node)
+
+
+def test_flush_classifies_singleton_runs_as_nts():
+    collector = Collector()
+    pool = collector.pool(None)
+    pool.add(sig([1], rowid=0, node=3))
+    pool.add(sig([2], rowid=1, node=4))
+    pool.flush()
+    assert len(collector.nts) == 2
+    assert collector.runs == []
+    assert pool.stats.nt_runs == 2
+
+
+def test_flush_groups_equal_aggregates_into_cat_runs():
+    collector = Collector()
+    pool = collector.pool(None)
+    pool.add(sig([5, 5], rowid=0, node=1))
+    pool.add(sig([5, 5], rowid=0, node=2))
+    pool.add(sig([5, 5], rowid=9, node=3))
+    pool.add(sig([7, 7], rowid=4, node=4))
+    pool.flush()
+    assert len(collector.nts) == 1  # the (7,7) singleton
+    assert len(collector.runs) == 1
+    run = collector.runs[0]
+    assert run.aggregates == (5, 5)
+    assert len(run.members) == 3
+    assert run.distinct_sources() == 2  # rowids {0, 9}
+
+
+def test_statistics_reported_before_first_cat_emission():
+    order: list[str] = []
+    pool = SignaturePool(
+        None,
+        on_nt=lambda s: order.append("nt"),
+        on_cats=lambda r: order.append("cat"),
+        on_statistics=lambda st: order.append("stats"),
+    )
+    pool.add(sig([1], rowid=0, node=0))
+    pool.add(sig([1], rowid=0, node=1))
+    pool.flush()
+    assert order[0] == "stats"
+
+
+def test_statistics_computed_once():
+    collector = Collector()
+    pool = collector.pool(2)
+    for i in range(6):
+        pool.add(sig([i], rowid=i, node=0))
+    pool.flush()
+    assert len(collector.statistics) == 1
+    assert pool.stats.flushes >= 3
+
+
+def test_bounded_pool_flushes_before_overflow():
+    collector = Collector()
+    pool = collector.pool(3)
+    for i in range(10):
+        pool.add(sig([i], rowid=i, node=0))
+        assert len(pool) <= 3
+    pool.flush()
+    assert len(collector.nts) == 10
+
+
+def test_bounded_pool_misses_cross_flush_cats():
+    """The Figure 18 effect: a tiny pool stores repeated aggregates as NTs."""
+    collector = Collector()
+    pool = collector.pool(2)
+    # Two pairs with equal aggregates, interleaved so no flush sees a pair.
+    pool.add(sig([1], rowid=0, node=0))
+    pool.add(sig([2], rowid=1, node=0))
+    pool.add(sig([1], rowid=0, node=1))
+    pool.add(sig([2], rowid=1, node=1))
+    pool.flush()
+    assert len(collector.nts) == 4
+    assert collector.runs == []
+
+    unbounded = Collector()
+    pool = unbounded.pool(None)
+    for s in (sig([1], 0, 0), sig([2], 1, 0), sig([1], 0, 1), sig([2], 1, 1)):
+        pool.add(s)
+    pool.flush()
+    assert len(unbounded.runs) == 2
+
+
+def test_flush_empty_pool_is_noop():
+    collector = Collector()
+    pool = collector.pool(None)
+    pool.flush()
+    assert pool.stats.flushes == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SignaturePool(0, on_nt=lambda s: None, on_cats=lambda r: None)
+
+
+def test_format_statistics_criterion():
+    """The k/n > Y+1 rule from Section 5.1."""
+    stats = FormatStatistics()
+    # One combination shared by 6 CATs from 2 sources: k=6, n=2, k/n=3.
+    stats.observe(
+        SignatureRun((1,), [sig([1], rowid=r % 2, node=r) for r in range(6)])
+    )
+    assert stats.mean_k == 6
+    assert stats.mean_n == 2
+    assert stats.common_source_prevails(n_aggregates=1)  # 3 > 2
+    assert not stats.common_source_prevails(n_aggregates=2)  # 3 <= 3
+
+
+def test_format_statistics_empty_is_not_common_source():
+    assert not FormatStatistics().common_source_prevails(1)
+
+
+def test_pool_size_bytes_model():
+    """The paper: ~(Y+2)*4 MB for 1,000,000 signatures with Y aggregates."""
+    assert SignaturePool.size_bytes(1_000_000, 2) == 16_000_000

@@ -1,0 +1,204 @@
+"""Unit tests for CURE's cube storage: formats, decision rule, sizes.
+
+Includes the paper's Figure 9 worked example end-to-end: the exact NT, TT
+and CAT placement the paper describes for the 5-tuple fact table.
+"""
+
+import pytest
+
+from repro import CatFormat, Table, build_cube
+from repro.core.signature import FormatStatistics, Signature, SignatureRun
+from repro.core.storage import (
+    VALUE_BYTES,
+    CubeStorage,
+    choose_cat_format,
+)
+from repro.lattice.node import CubeNode
+
+
+def stats_with(k: int, n: int) -> FormatStatistics:
+    stats = FormatStatistics()
+    stats.m = 1
+    stats.total_cats = k
+    stats.total_sources = n
+    return stats
+
+
+# -- decision rule (Section 5.1) -------------------------------------------------------
+
+
+def test_choose_format_a_when_common_source_prevails():
+    assert choose_cat_format(stats_with(k=10, n=2), 2) is CatFormat.COMMON_SOURCE
+
+
+def test_choose_nt_when_single_aggregate_and_coincidental():
+    assert choose_cat_format(stats_with(k=4, n=4), 1) is CatFormat.AS_NT
+
+
+def test_choose_format_b_otherwise():
+    assert choose_cat_format(stats_with(k=4, n=4), 2) is CatFormat.COINCIDENTAL
+
+
+def test_boundary_exactly_y_plus_one_is_not_common_source():
+    # k/n == Y+1 must not choose (a): the inequality is strict.
+    assert choose_cat_format(stats_with(k=3, n=1), 2) is CatFormat.COINCIDENTAL
+
+
+# -- Figure 9, end to end -------------------------------------------------------------
+
+
+@pytest.fixture
+def figure9(flat_schema, figure9_table):
+    result = build_cube(flat_schema, table=figure9_table)
+    return flat_schema, result.storage
+
+
+def node_id(schema, levels):
+    return schema.node_id(CubeNode(levels))
+
+
+def test_figure9_chooses_format_a(figure9):
+    """Common-source CATs prevail in the example (k̄/n̄ = 2.5 > Y+1 = 2)."""
+    _schema, storage = figure9
+    assert storage.cat_format is CatFormat.COMMON_SOURCE
+
+
+def test_figure9_tt_for_a2_stored_once_at_node_a(figure9):
+    """All cube tuples with A = 2 are TTs, stored once in node A."""
+    schema, storage = figure9
+    all_level = 1
+    a_node = storage.get_node_store(node_id(schema, (0, all_level, all_level)))
+    assert 2 in a_node.tt_rowids  # rowid 2 = the tuple <2,2,3,40>
+    # ...and in no more detailed node containing A.
+    for levels in ((0, 0, all_level), (0, all_level, 0), (0, 0, 0)):
+        store = storage.get_node_store(node_id(schema, levels))
+        if store is not None:
+            assert 2 not in store.tt_rowids
+
+
+def test_figure9_nt_for_a3(figure9):
+    """Tuple <3, 90> in node A is an NT (unique aggregate 90)."""
+    schema, storage = figure9
+    a_node = storage.get_node_store(node_id(schema, (0, 1, 1)))
+    assert (3, 90) in a_node.nt_rows  # R-rowid 3 (first A=3 tuple), sum 90
+
+
+def test_figure9_common_source_cat_shared(figure9):
+    """<1,1,30> in AB, <1,30> in A and B share one AGGREGATES entry."""
+    schema, storage = figure9
+    assert (0, 30) in storage.aggregates_rows
+    arowid = storage.aggregates_rows.index((0, 30))
+    for levels in ((0, 0, 1), (0, 1, 1), (1, 0, 1)):  # AB, A, B
+        store = storage.get_node_store(node_id(schema, levels))
+        assert (arowid,) in store.cat_rows
+
+
+def test_figure9_all_node_aggregate(figure9):
+    schema, storage = figure9
+    store = storage.get_node_store(node_id(schema, (1, 1, 1)))
+    assert store.nt_rows == [(0, 160)]
+
+
+# -- write paths ------------------------------------------------------------------------
+
+
+def test_write_cat_run_requires_decided_format(flat_schema):
+    storage = CubeStorage(flat_schema)
+    run = SignatureRun((1,), [Signature((1,), 0, 0), Signature((1,), 0, 1)])
+    with pytest.raises(RuntimeError, match="format not decided"):
+        storage.write_cat_run(run)
+
+
+def test_write_cat_run_as_nt(flat_schema):
+    storage = CubeStorage(flat_schema)
+    storage.cat_format = CatFormat.AS_NT
+    run = SignatureRun((9,), [Signature((9,), 0, 0), Signature((9,), 1, 1)])
+    storage.write_cat_run(run)
+    assert storage.node_store(0).nt_rows == [(0, 9)]
+    assert storage.node_store(1).nt_rows == [(1, 9)]
+    assert storage.aggregates_rows == []
+
+
+def test_write_cat_run_format_a_groups_by_source(flat_schema):
+    storage = CubeStorage(flat_schema)
+    storage.cat_format = CatFormat.COMMON_SOURCE
+    members = [
+        Signature((9,), 0, 0),
+        Signature((9,), 0, 1),  # same source as above → shared row
+        Signature((9,), 5, 2),  # different source → second row
+    ]
+    storage.write_cat_run(SignatureRun((9,), members))
+    assert storage.aggregates_rows == [(0, 9), (5, 9)]
+    assert storage.node_store(0).cat_rows == [(0,)]
+    assert storage.node_store(1).cat_rows == [(0,)]
+    assert storage.node_store(2).cat_rows == [(1,)]
+
+
+def test_write_cat_run_format_b_one_row_per_run(flat_schema):
+    storage = CubeStorage(flat_schema)
+    storage.cat_format = CatFormat.COINCIDENTAL
+    members = [Signature((9,), 0, 0), Signature((9,), 5, 1)]
+    storage.write_cat_run(SignatureRun((9,), members))
+    assert storage.aggregates_rows == [(9,)]
+    assert storage.node_store(0).cat_rows == [(0, 0)]
+    assert storage.node_store(1).cat_rows == [(5, 0)]
+
+
+def test_dr_mode_stores_dimension_values(flat_schema, figure9_table):
+    result = build_cube(flat_schema, table=figure9_table, dr_mode=True)
+    storage = result.storage
+    a_store = storage.get_node_store(flat_schema.node_id(CubeNode((0, 1, 1))))
+    # NT <3, 90> now stores the A value (code 2) instead of the row-id.
+    assert (2, 90) in a_store.nt_rows
+
+
+def test_dr_mode_without_resolver_raises(flat_schema):
+    storage = CubeStorage(flat_schema, dr_mode=True)
+    with pytest.raises(RuntimeError, match="row_resolver"):
+        storage.write_nt(Signature((1,), 0, 0))
+
+
+# -- size accounting -----------------------------------------------------------------------
+
+
+def test_size_report_widths(flat_schema):
+    storage = CubeStorage(flat_schema)
+    storage.cat_format = CatFormat.COINCIDENTAL
+    storage.write_tt(0, 1)
+    storage.write_nt(Signature((7,), 2, 0))
+    storage.write_cat_run(
+        SignatureRun((9,), [Signature((9,), 0, 0), Signature((9,), 5, 1)])
+    )
+    report = storage.size_report()
+    assert report.tt_bytes == VALUE_BYTES
+    assert report.nt_bytes == 2 * VALUE_BYTES  # rowid + 1 aggregate
+    assert report.cat_bytes == 2 * 2 * VALUE_BYTES  # ⟨rowid, arowid⟩ × 2
+    assert report.aggregates_bytes == VALUE_BYTES  # bare aggregate row
+    assert report.total_bytes == (1 + 2 + 4 + 1) * VALUE_BYTES
+
+
+def test_size_report_relation_count(flat_schema):
+    storage = CubeStorage(flat_schema)
+    storage.cat_format = CatFormat.COINCIDENTAL
+    storage.write_tt(0, 1)
+    storage.write_nt(Signature((7,), 2, 0))
+    storage.write_cat_run(
+        SignatureRun((9,), [Signature((9,), 0, 0), Signature((9,), 5, 1)])
+    )
+    report = storage.size_report()
+    # Node 0 has TT + NT + CAT relations, node 1 has CAT only.
+    assert report.n_relations == 4
+
+
+def test_describe_mentions_counts(flat_schema, figure9_table):
+    result = build_cube(flat_schema, table=figure9_table)
+    text = result.storage.describe()
+    assert "NTs: 3" in text
+    assert "TTs: 15" in text
+
+
+def test_node_by_label(flat_schema, figure9_table):
+    result = build_cube(flat_schema, table=figure9_table)
+    store = result.storage.node_by_label("A.A")
+    assert store is not None
+    assert result.storage.node_by_label("nope") is None

@@ -1,0 +1,96 @@
+"""Unit tests for the columnar WorkingSet."""
+
+import numpy as np
+import pytest
+
+from repro import Table
+from repro.core.workingset import WorkingSet
+
+
+@pytest.fixture
+def working(paper_schema) -> WorkingSet:
+    table = Table(
+        paper_schema.fact_schema,
+        [(0, 0, 0, 10), (3, 1, 2, 20), (7, 5, 4, 30)],
+    )
+    return WorkingSet.from_fact_table(paper_schema, table)
+
+
+def test_from_fact_table_shapes(paper_schema, working):
+    assert len(working) == 3
+    assert len(working.dims) == 3
+    assert working.aggs.shape == (3, 2)
+    assert working.weights.tolist() == [1, 1, 1]
+    assert working.rowids.tolist() == [0, 1, 2]
+
+
+def test_singleton_aggregates(working):
+    # Aggregates are (sum, count): count partials start at 1.
+    assert working.aggs[:, 0].tolist() == [10, 20, 30]
+    assert working.aggs[:, 1].tolist() == [1, 1, 1]
+
+
+def test_total_weight_and_empty(paper_schema, working):
+    assert working.total_weight == 3
+    empty = WorkingSet.empty(paper_schema)
+    assert len(empty) == 0
+    assert empty.total_weight == 0
+
+
+def test_level_keys_roll_up(paper_schema, working):
+    positions = np.arange(3)
+    base = working.level_keys(0, 0, positions)
+    assert base.tolist() == [0, 3, 7]
+    a = paper_schema.dimensions[0]
+    level1 = working.level_keys(0, 1, positions)
+    assert level1.tolist() == [a.code_at(0, 1), a.code_at(3, 1), a.code_at(7, 1)]
+
+
+def test_aggregate_and_min_rowid(working):
+    positions = np.array([0, 2])
+    assert working.aggregate(positions) == (40, 2)
+    assert working.min_rowid(positions) == 0
+    assert working.weight_of(positions) == 2
+
+
+def test_from_partition_table_keeps_original_rowids(paper_schema):
+    rows = [(0, 0, 0, 10, 42), (1, 1, 1, 20, 7)]
+    table = Table(paper_schema.partition_schema, rows)
+    working = WorkingSet.from_partition_table(paper_schema, table)
+    assert working.rowids.tolist() == [42, 7]
+
+
+def test_from_aggregated_weights_and_partials(paper_schema):
+    working = WorkingSet.from_aggregated(
+        paper_schema,
+        dim_rows=[(0, 0, 0), (1, 1, 1)],
+        agg_rows=[(100, 5), (50, 2)],
+        weights=[5, 2],
+        rowids=[10, 20],
+    )
+    assert working.total_weight == 7
+    positions = np.arange(2)
+    assert working.aggregate(positions) == (150, 7)
+
+
+def test_validation_errors(paper_schema):
+    with pytest.raises(ValueError):
+        WorkingSet(
+            paper_schema,
+            [np.zeros(1, dtype=np.int32)] * 2,  # wrong dim count
+            np.zeros((1, 2), dtype=np.int64),
+            np.ones(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+        )
+    with pytest.raises(ValueError):
+        WorkingSet(
+            paper_schema,
+            [np.zeros(1, dtype=np.int32)] * 3,
+            np.zeros((1, 3), dtype=np.int64),  # wrong agg arity
+            np.ones(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+        )
+
+
+def test_size_bytes_positive(working):
+    assert working.size_bytes == 3 * (4 * 3 + 8 * 4)

@@ -1,0 +1,165 @@
+"""Unit tests for the raw-record loader (dictionary encoding, hierarchies)."""
+
+import pytest
+
+from repro.datasets.loader import (
+    DimensionSpec,
+    HierarchyViolation,
+    MeasureSpec,
+    load_csv,
+    load_records,
+)
+
+RECORDS = [
+    {"city": "Athens", "country": "Greece", "sku": "a", "qty": 3},
+    {"city": "Paris", "country": "France", "sku": "b", "qty": 5},
+    {"city": "Patras", "country": "Greece", "sku": "a", "qty": 2},
+    {"city": "Athens", "country": "Greece", "sku": "b", "qty": 7},
+]
+
+REGION = DimensionSpec.of("Region", "city", "country")
+PRODUCT = DimensionSpec.of("Product", "sku")
+
+
+def load(records=RECORDS, **kwargs):
+    return load_records(records, [REGION, PRODUCT], ["qty"], **kwargs)
+
+
+def test_schema_shape():
+    result = load()
+    schema = result.schema
+    assert schema.n_dimensions == 2
+    region = result.decoder("Region").spec
+    assert region.levels == ("city", "country")
+    # Default aggregates: SUM per measure plus COUNT.
+    assert [s.name for s in schema.aggregates] == ["sum_0", "count_0"]
+
+
+def test_dictionary_encoding_roundtrip():
+    result = load()
+    region = result.decoder("Region")
+    assert region.decode(0, region.encode(0, "Paris")) == "Paris"
+    assert region.decode(1, region.encode(1, "Greece")) == "Greece"
+    with pytest.raises(KeyError):
+        region.encode(0, "Atlantis")
+
+
+def test_rollup_derived_from_data():
+    result = load()
+    # Find the Region dimension in the (possibly reordered) schema.
+    region = next(
+        d for d in result.schema.dimensions if d.name == "Region"
+    )
+    decoder = result.decoder("Region")
+    athens = decoder.encode(0, "Athens")
+    patras = decoder.encode(0, "Patras")
+    paris = decoder.encode(0, "Paris")
+    greece = decoder.encode(1, "Greece")
+    assert region.code_at(athens, 1) == greece
+    assert region.code_at(patras, 1) == greece
+    assert region.code_at(paris, 1) != greece
+
+
+def test_hierarchy_violation_detected():
+    bad = RECORDS + [
+        {"city": "Athens", "country": "France", "sku": "a", "qty": 1}
+    ]
+    with pytest.raises(HierarchyViolation, match="Athens"):
+        load(bad)
+
+
+def test_cardinality_ordering():
+    result = load()
+    cards = [d.base_cardinality for d in result.schema.dimensions]
+    assert cards == sorted(cards, reverse=True)
+    unordered = load(order_by_cardinality=False)
+    assert [d.name for d in unordered.schema.dimensions] == [
+        "Region", "Product",
+    ]
+
+
+def test_fact_rows_follow_dimension_order():
+    result = load()
+    schema = result.schema
+    for record, row in zip(RECORDS, result.table.rows):
+        for d, dimension in enumerate(schema.dimensions):
+            decoder = result.decoder(dimension.name)
+            field = decoder.spec.levels[0]
+            assert decoder.decode(0, row[d]) == str(record[field])
+        assert row[-1] == record["qty"]
+
+
+def test_measure_scaling_fixed_point():
+    records = [
+        {"city": "A", "country": "X", "sku": "s", "qty": 1, "price": "12.34"},
+    ]
+    result = load_records(
+        records,
+        [REGION, PRODUCT],
+        ["qty", MeasureSpec.of("price", scale=100)],
+    )
+    assert result.table.rows[0][-1] == 1234
+
+
+def test_measure_non_integral_rejected():
+    records = [
+        {"city": "A", "country": "X", "sku": "s", "qty": 1, "price": "12.345"},
+    ]
+    with pytest.raises(ValueError, match="not integral"):
+        load_records(
+            records, [REGION, PRODUCT],
+            ["qty", MeasureSpec.of("price", scale=100)],
+        )
+
+
+def test_missing_fields_reported():
+    with pytest.raises(KeyError, match="country"):
+        load_records(
+            [{"city": "A", "sku": "s", "qty": 1}], [REGION, PRODUCT], ["qty"]
+        )
+    with pytest.raises(KeyError, match="qty"):
+        load_records(
+            [{"city": "A", "country": "X", "sku": "s"}],
+            [REGION, PRODUCT],
+            ["qty"],
+        )
+
+
+def test_validation_of_specs():
+    with pytest.raises(ValueError):
+        DimensionSpec.of("empty")
+    with pytest.raises(ValueError):
+        MeasureSpec.of("m", scale=0)
+    with pytest.raises(ValueError, match="at least one dimension"):
+        load_records(RECORDS, [], ["qty"])
+    with pytest.raises(ValueError, match="at least one measure"):
+        load_records(RECORDS, [REGION], [])
+
+
+def test_load_csv(tmp_path):
+    path = tmp_path / "facts.csv"
+    path.write_text(
+        "city,country,sku,qty\n"
+        "Athens,Greece,a,3\n"
+        "Paris,France,b,5\n"
+    )
+    result = load_csv(path, [REGION, PRODUCT], ["qty"])
+    assert len(result.table) == 2
+
+
+def test_cube_over_loaded_data_matches_reference():
+    from repro import build_cube
+    from repro.query import FactCache, answer_cure_query, reference_group_by
+    from repro.query.answer import normalize_answer
+
+    result = load()
+    built = build_cube(result.schema, table=result.table)
+    cache = FactCache(result.schema, table=result.table)
+    for node in result.schema.lattice.nodes():
+        expected = reference_group_by(
+            result.schema, result.table.rows, node
+        )
+        got = normalize_answer(
+            answer_cure_query(built.storage, cache, node)
+        )
+        assert got == expected

@@ -1,0 +1,79 @@
+"""Unit tests for the synthetic Zipf generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    default_cardinalities,
+    generate_flat_dataset,
+    zipf_probabilities,
+)
+
+
+def test_zipf_uniform_at_zero():
+    probabilities = zipf_probabilities(10, 0.0)
+    assert np.allclose(probabilities, 0.1)
+
+
+def test_zipf_monotone_decreasing():
+    probabilities = zipf_probabilities(100, 1.2)
+    assert np.all(np.diff(probabilities) <= 0)
+    assert probabilities.sum() == pytest.approx(1.0)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        zipf_probabilities(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_probabilities(10, -0.1)
+
+
+def test_default_cardinalities_are_t_over_i():
+    assert default_cardinalities(4, 1000) == (1000, 500, 333, 250)
+    assert default_cardinalities(2, 3) == (3, 2)  # floored at 2
+
+
+def test_generate_flat_dataset_shape():
+    schema, table = generate_flat_dataset(3, 200, zipf=0.8, seed=1)
+    assert schema.n_dimensions == 3
+    assert len(table) == 200
+    assert len(table[0]) == 4  # 3 dims + 1 measure
+    for row in table.rows:
+        for d, dimension in enumerate(schema.dimensions):
+            assert 0 <= row[d] < dimension.base_cardinality
+
+
+def test_generate_deterministic_by_seed():
+    _s1, t1 = generate_flat_dataset(3, 100, seed=5)
+    _s2, t2 = generate_flat_dataset(3, 100, seed=5)
+    _s3, t3 = generate_flat_dataset(3, 100, seed=6)
+    assert t1.rows == t2.rows
+    assert t1.rows != t3.rows
+
+
+def test_skew_concentrates_mass():
+    _s, uniform = generate_flat_dataset(1, 3000, zipf=0.0, seed=2)
+    _s, skewed = generate_flat_dataset(1, 3000, zipf=1.8, seed=2)
+    def top_share(table):
+        values = [row[0] for row in table.rows]
+        counts = {}
+        for value in values:
+            counts[value] = counts.get(value, 0) + 1
+        return max(counts.values()) / len(values)
+    assert top_share(skewed) > 3 * top_share(uniform)
+
+
+def test_cardinality_validation():
+    with pytest.raises(ValueError, match="one cardinality"):
+        generate_flat_dataset(2, 10, cardinalities=(5,))
+    with pytest.raises(ValueError):
+        generate_flat_dataset(0, 10)
+
+
+def test_multiple_measures_and_aggregates():
+    schema, table = generate_flat_dataset(
+        2, 50, n_measures=2,
+        aggregates=(("sum", 0), ("sum", 1), ("count", 0)),
+    )
+    assert schema.n_aggregates == 3
+    assert len(table[0]) == 4

@@ -1,0 +1,71 @@
+"""Unit tests for the dimension builders."""
+
+import pytest
+
+from repro.hierarchy.builders import (
+    complex_dimension,
+    flat_dimension,
+    linear_dimension,
+)
+
+
+def test_flat_dimension():
+    flat = flat_dimension("F", 7)
+    assert flat.n_levels == 1
+    assert flat.base_cardinality == 7
+    assert flat.is_linear
+
+
+def test_linear_requires_levels():
+    with pytest.raises(ValueError, match="at least one level"):
+        linear_dimension("x", [])
+
+
+def test_linear_synthesizes_uniform_maps():
+    dimension = linear_dimension("x", [("a", 8), ("b", 4), ("c", 2)])
+    # Every base code must roll up consistently through the chain.
+    for code in range(8):
+        b_code = dimension.code_at(code, 1)
+        c_code = dimension.code_at(code, 2)
+        assert 0 <= b_code < 4
+        assert 0 <= c_code < 2
+        # c is also a coarsening of b: equal b codes imply equal c codes.
+    seen = {}
+    for code in range(8):
+        b_code = dimension.code_at(code, 1)
+        c_code = dimension.code_at(code, 2)
+        assert seen.setdefault(b_code, c_code) == c_code
+
+
+def test_linear_parent_map_count_checked():
+    with pytest.raises(ValueError, match="parent maps expected"):
+        linear_dimension("x", [("a", 4), ("b", 2)], parent_maps=[])
+
+
+def test_linear_parent_map_length_checked():
+    with pytest.raises(ValueError, match="length"):
+        linear_dimension("x", [("a", 4), ("b", 2)], parent_maps=[[0, 1]])
+
+
+def test_member_names_attached():
+    dimension = linear_dimension(
+        "x",
+        [("a", 2), ("b", 1)],
+        parent_maps=[[0, 0]],
+        member_names=[["left", "right"], None],
+    )
+    assert dimension.member_name(0, 1) == "right"
+    assert dimension.member_name(1, 0) == "b:0"
+
+
+def test_complex_dimension_roundtrip():
+    dimension = complex_dimension(
+        "T",
+        [("d", 4), ("w", 2), ("m", 2)],
+        [[0, 1, 2, 3], [0, 0, 1, 1], [0, 1, 0, 1]],
+        [(1, 2), (3,), (3,)],
+    )
+    assert dimension.n_levels == 3
+    assert not dimension.is_linear
+    assert dimension.code_at(3, 1) == 1
+    assert dimension.code_at(3, 2) == 1

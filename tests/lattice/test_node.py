@@ -1,0 +1,109 @@
+"""Unit tests for cube nodes and the Section 3.3 enumeration.
+
+The centerpiece is Figure 6 of the paper, reproduced verbatim: the ids of
+all 24 nodes of the A0→A1→A2, B0→B1, C0 example.
+"""
+
+import pytest
+
+from repro.lattice.node import CubeNode, NodeEnumerator
+
+# Figure 6, transcribed: label → (L1, L2, L3, id).  Levels use the paper's
+# convention (0 = base, top = ALL after renaming).
+FIGURE6 = {
+    "A0B0C0": (0, 0, 0, 0),
+    "A1B0C0": (1, 0, 0, 1),
+    "A2B0C0": (2, 0, 0, 2),
+    "B0C0": (3, 0, 0, 3),
+    "A0B1C0": (0, 1, 0, 4),
+    "A1B1C0": (1, 1, 0, 5),
+    "A2B1C0": (2, 1, 0, 6),
+    "B1C0": (3, 1, 0, 7),
+    "A0C0": (0, 2, 0, 8),
+    "A1C0": (1, 2, 0, 9),
+    "A2C0": (2, 2, 0, 10),
+    "C0": (3, 2, 0, 11),
+    "A0B0": (0, 0, 1, 12),
+    "A1B0": (1, 0, 1, 13),
+    "A2B0": (2, 0, 1, 14),
+    "B0": (3, 0, 1, 15),
+    "A0B1": (0, 1, 1, 16),
+    "A1B1": (1, 1, 1, 17),
+    "A2B1": (2, 1, 1, 18),
+    "B1": (3, 1, 1, 19),
+    "A0": (0, 2, 1, 20),
+    "A1": (1, 2, 1, 21),
+    "A2": (2, 2, 1, 22),
+    "∅": (3, 2, 1, 23),
+}
+
+
+@pytest.fixture
+def enumerator(paper_schema) -> NodeEnumerator:
+    return paper_schema.enumerator
+
+
+def test_factors_match_paper(enumerator):
+    """Section 3.3: F1 = 1, F2 = 4, F3 = 12."""
+    assert enumerator.factors == (1, 4, 12)
+
+
+def test_n_nodes_matches_paper(enumerator):
+    """(3+1)·(2+1)·(1+1) = 24."""
+    assert enumerator.n_nodes == 24
+
+
+def test_figure6_ids_exact(enumerator):
+    for label, (l1, l2, l3, node_id) in FIGURE6.items():
+        node = CubeNode((l1, l2, l3))
+        assert enumerator.node_id(node) == node_id, label
+
+
+def test_decode_inverts_encode(enumerator):
+    for node_id in range(enumerator.n_nodes):
+        node = enumerator.decode(node_id)
+        assert enumerator.node_id(node) == node_id
+
+
+def test_paper_worked_decode_example(enumerator):
+    """Section 3.3 decodes id 21 to node A1 (levels 1, 2, 1)."""
+    assert enumerator.decode(21).levels == (1, 2, 1)
+
+
+def test_node_id_validates_levels(enumerator):
+    with pytest.raises(ValueError, match="out of range"):
+        enumerator.node_id(CubeNode((4, 0, 0)))
+    with pytest.raises(ValueError):
+        enumerator.node_id(CubeNode((0, 0)))
+
+
+def test_decode_validates_range(enumerator):
+    with pytest.raises(ValueError):
+        enumerator.decode(24)
+    with pytest.raises(ValueError):
+        enumerator.decode(-1)
+
+
+def test_grouping_dims(paper_schema):
+    dims = paper_schema.dimensions
+    assert CubeNode((0, 1, 0)).grouping_dims(dims) == (0, 1, 2)
+    assert CubeNode((3, 2, 0)).grouping_dims(dims) == (2,)  # only C
+    assert CubeNode((3, 2, 1)).grouping_dims(dims) == ()
+
+
+def test_with_level():
+    node = CubeNode((0, 0, 0))
+    assert node.with_level(1, 2).levels == (0, 2, 0)
+    assert node.levels == (0, 0, 0)  # original untouched
+
+
+def test_label(paper_schema):
+    dims = paper_schema.dimensions
+    assert CubeNode((1, 2, 1)).label(dims) == "A.A1"
+    assert CubeNode((3, 2, 1)).label(dims) == "∅"
+    assert CubeNode((0, 0, 0)).label(dims) == "A.A0×B.B0×C.C0"
+
+
+def test_empty_node_rejected():
+    with pytest.raises(ValueError):
+        CubeNode(())

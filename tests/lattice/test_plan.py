@@ -1,0 +1,202 @@
+"""Unit tests for execution plans P1, P2, P3 (Figures 2–4 of the paper)."""
+
+import pytest
+
+from repro.hierarchy.builders import complex_dimension, flat_dimension
+from repro.lattice.lattice import CubeLattice
+from repro.lattice.node import CubeNode
+from repro.lattice.plan import (
+    PlanEdge,
+    build_plan_p1,
+    build_plan_p2,
+    build_plan_p3,
+    plan_ancestors,
+    plan_parent,
+)
+
+
+@pytest.fixture
+def lattice(paper_schema) -> CubeLattice:
+    return paper_schema.lattice
+
+
+def labels(plan, dimensions):
+    return {node.node.label(dimensions) for node in plan.root.walk()}
+
+
+# -- P3 (Figure 4) --------------------------------------------------------------------
+
+
+def test_p3_covers_every_node_once(lattice):
+    plan = build_plan_p3(lattice)
+    nodes = [plan_node.node for plan_node in plan.root.walk()]
+    assert len(nodes) == 24
+    assert len(set(nodes)) == 24
+    assert set(nodes) == set(lattice.nodes())
+
+
+def test_p3_height_matches_figure4(lattice):
+    """Figure 4's plan is the tallest: height 6 for the example."""
+    assert build_plan_p3(lattice).height() == 6
+
+
+def test_p3_root_is_all_node(lattice):
+    assert build_plan_p3(lattice).root.node == lattice.all_node
+
+
+def test_p3_edges_follow_rules(lattice):
+    """Solid edges add a dimension at an entry level; dashed edges descend
+    the rightmost grouping dimension one hierarchy step."""
+    dimensions = lattice.dimensions
+    plan = build_plan_p3(lattice)
+    for plan_node in plan.root.walk():
+        parent_grouping = set(plan_node.node.grouping_dims(dimensions))
+        for edge, child in plan_node.children:
+            child_grouping = set(child.node.grouping_dims(dimensions))
+            if edge is PlanEdge.SOLID:
+                added = child_grouping - parent_grouping
+                assert len(added) == 1
+                (d,) = added
+                assert child.node.levels[d] in dimensions[d].entry_levels()
+            else:
+                assert child_grouping == parent_grouping
+                changed = [
+                    d
+                    for d in range(lattice.n_dimensions)
+                    if child.node.levels[d] != plan_node.node.levels[d]
+                ]
+                assert len(changed) == 1
+                (d,) = changed
+                assert d == max(child_grouping)
+                assert child.node.levels[d] < plan_node.node.levels[d]
+
+
+def test_p3_first_level_nodes(lattice):
+    """The D nodes built directly from R are the single top-level dims."""
+    dimensions = lattice.dimensions
+    plan = build_plan_p3(lattice)
+    first = {child.node.label(dimensions) for _e, child in plan.root.children}
+    assert first == {"A.A2", "B.B1", "C.C0"}
+
+
+def test_p3_base_levels_cut_dashed_descent(lattice):
+    """With baseLevel[0] = 1, no plan node has A below level 1."""
+    plan = build_plan_p3(lattice, base_levels=(1, 0, 0))
+    for plan_node in plan.root.walk():
+        assert plan_node.node.levels[0] >= 1
+    # Nodes lost: those with A at level 0 — a quarter of the lattice.
+    assert plan.node_count() == 24 - 6
+
+
+# -- P1 (Figure 2) --------------------------------------------------------------------
+
+
+def test_p1_flat_plan(lattice):
+    plan = build_plan_p1(lattice)
+    nodes = [plan_node.node for plan_node in plan.root.walk()]
+    assert len(nodes) == 8
+    assert set(nodes) == set(lattice.flat_nodes())
+    assert plan.height() == 3
+
+
+# -- P2 (Figure 3) --------------------------------------------------------------------
+
+
+def test_p2_covers_every_node_once_with_height_d(lattice):
+    plan = build_plan_p2(lattice)
+    nodes = [plan_node.node for plan_node in plan.root.walk()]
+    assert len(nodes) == 24
+    assert len(set(nodes)) == 24
+    assert plan.height() == 3  # "the shortest possible extension of P1"
+
+
+def test_p2_no_node_mixes_levels_of_same_dimension(lattice):
+    # Guaranteed structurally: a node has one level value per dimension.
+    # What P2 must avoid is *revisiting* a dimension; covered by uniqueness.
+    plan = build_plan_p2(lattice)
+    assert plan.node_count() == lattice.n_nodes
+
+
+# -- analytic navigation -----------------------------------------------------------------
+
+
+def test_plan_parent_matches_materialized_tree(lattice):
+    plan = build_plan_p3(lattice)
+
+    def walk(plan_node, parent):
+        if parent is not None:
+            assert plan_parent(lattice, plan_node.node) == parent.node
+        for _edge, child in plan_node.children:
+            walk(child, plan_node)
+
+    assert plan_parent(lattice, lattice.all_node) is None
+    walk(plan.root, None)
+
+
+def test_plan_ancestors_path_to_root(lattice):
+    node = CubeNode((0, 0, 0))  # A0B0C0
+    path = plan_ancestors(lattice, node)
+    assert path[-1] == lattice.all_node
+    assert len(path) == 6  # the height of P3
+    dims = lattice.dimensions
+    assert [n.label(dims) for n in path[:3]] == [
+        "A.A0×B.B0",
+        "A.A0×B.B1",
+        "A.A0",
+    ]
+
+
+def test_plan_ancestors_flat(lattice):
+    node = CubeNode((0, 0, 0))
+    path = plan_ancestors(lattice, node, flat=True)
+    dims = lattice.dimensions
+    assert [n.label(dims) for n in path] == ["A.A0×B.B0", "A.A0", "∅"]
+
+
+def test_flat_plan_parent_drops_rightmost():
+    lattice = CubeLattice(
+        (flat_dimension("X", 2), flat_dimension("Y", 2), flat_dimension("Z", 2))
+    )
+    node = CubeNode((1, 0, 0))  # YZ
+    parent = plan_parent(lattice, node, flat=True)
+    assert parent.levels == (1, 0, 1)  # Y
+
+
+def test_p3_complex_hierarchy_covers_lattice():
+    """The Figure 5 time cube: ∅, year, month, week, day — one tree."""
+    time = complex_dimension(
+        "Time",
+        levels=[("day", 28), ("week", 4), ("month", 2), ("year", 1)],
+        base_maps=[
+            list(range(28)),
+            [d // 7 for d in range(28)],
+            [d // 14 for d in range(28)],
+            [0] * 28,
+        ],
+        parents=[(1, 2), (4,), (3,), (4,)],
+    )
+    lattice = CubeLattice((time,))
+    plan = build_plan_p3(lattice)
+    nodes = [plan_node.node for plan_node in plan.root.walk()]
+    assert len(nodes) == 5
+    assert len(set(nodes)) == 5
+    # Parent navigation agrees with the tree on every node.
+    for node in lattice.nodes():
+        path = plan_ancestors(lattice, node)
+        assert path == [] or path[-1] == lattice.all_node
+
+
+def test_render_shows_tree(lattice):
+    text = build_plan_p3(lattice).render()
+    assert "P3 (24 nodes, height 6)" in text
+    assert "∅" in text
+    assert "╌╌ A.A1" in text  # dashed descent of A
+    assert "── A.A2×B.B1×C.C0" in text
+    assert len(text.splitlines()) == 25  # header + every node
+
+
+def test_render_truncates(lattice):
+    text = build_plan_p3(lattice).render(max_nodes=5)
+    assert "…" in text
+    # 5 node lines + the header + one ellipsis per abandoned branch.
+    assert len(text.splitlines()) <= 12

@@ -1,0 +1,106 @@
+"""Property-based tests for lattices, node enumeration and plans."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hierarchy.builders import linear_dimension
+from repro.lattice.lattice import CubeLattice
+from repro.lattice.plan import build_plan_p2, build_plan_p3, plan_parent
+
+
+@st.composite
+def lattices(draw):
+    n_dims = draw(st.integers(1, 3))
+    dimensions = []
+    for d in range(n_dims):
+        n_levels = draw(st.integers(1, 4))
+        cards = sorted(
+            draw(
+                st.lists(
+                    st.integers(1, 9), min_size=n_levels, max_size=n_levels
+                )
+            ),
+            reverse=True,
+        )
+        dimensions.append(
+            linear_dimension(
+                f"D{d}", [(f"L{i}", cards[i]) for i in range(n_levels)]
+            )
+        )
+    return CubeLattice(tuple(dimensions))
+
+
+@settings(max_examples=40, deadline=None)
+@given(lattices())
+def test_enumeration_is_a_bijection(lattice):
+    enumerator = lattice.enumerator
+    ids = {enumerator.node_id(node) for node in lattice.nodes()}
+    assert ids == set(range(enumerator.n_nodes))
+    for node in lattice.nodes():
+        assert enumerator.decode(enumerator.node_id(node)) == node
+
+
+@settings(max_examples=40, deadline=None)
+@given(lattices())
+def test_n_nodes_is_product_of_level_counts(lattice):
+    expected = 1
+    for dimension in lattice.dimensions:
+        expected *= dimension.n_levels_with_all
+    assert lattice.n_nodes == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_p3_is_a_spanning_tree(lattice):
+    plan = build_plan_p3(lattice)
+    nodes = [plan_node.node for plan_node in plan.root.walk()]
+    assert len(nodes) == lattice.n_nodes
+    assert len(set(nodes)) == lattice.n_nodes
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_p2_is_a_spanning_tree_of_height_d(lattice):
+    plan = build_plan_p2(lattice)
+    nodes = [plan_node.node for plan_node in plan.root.walk()]
+    assert len(nodes) == lattice.n_nodes
+    assert len(set(nodes)) == lattice.n_nodes
+    assert plan.height() <= lattice.n_dimensions
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_p3_taller_or_equal_to_p2(lattice):
+    """Section 3.1: P3 is the tallest BUC-based plan, P2 the shortest."""
+    assert build_plan_p3(lattice).height() >= build_plan_p2(lattice).height()
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_plan_parent_walks_to_root(lattice):
+    for node in lattice.nodes():
+        current = node
+        steps = 0
+        while True:
+            parent = plan_parent(lattice, current)
+            if parent is None:
+                break
+            # Plan parents are strictly less detailed (lattice descendants).
+            assert lattice.is_ancestor(current, parent)
+            current = parent
+            steps += 1
+            assert steps <= lattice.n_nodes
+        assert current == lattice.all_node
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_ancestor_relation_is_a_partial_order(lattice):
+    nodes = list(lattice.nodes())[:12]
+    for x in nodes:
+        assert lattice.is_ancestor(x, x)
+        for y in nodes:
+            if lattice.is_ancestor(x, y) and lattice.is_ancestor(y, x):
+                assert x == y

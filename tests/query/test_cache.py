@@ -1,0 +1,94 @@
+"""Unit tests for the fact cache."""
+
+import pytest
+
+from repro import Engine, Table
+from repro.query.cache import FactCache
+
+
+@pytest.fixture
+def setup(tmp_path, flat_schema, figure9_table):
+    from repro.relational.catalog import Catalog
+    from repro.relational.memory import MemoryManager
+
+    engine = Engine(Catalog(tmp_path / "cat"), MemoryManager())
+    heap = engine.store_table("fact", figure9_table)
+    yield flat_schema, figure9_table, heap
+    engine.close()
+
+
+def test_requires_exactly_one_source(flat_schema, figure9_table):
+    with pytest.raises(ValueError, match="exactly one"):
+        FactCache(flat_schema)
+    with pytest.raises(ValueError, match="exactly one"):
+        FactCache(flat_schema, table=figure9_table, heap=object())
+
+
+def test_fraction_validated(setup):
+    schema, _table, heap = setup
+    with pytest.raises(ValueError, match="fraction"):
+        FactCache(schema, heap=heap, fraction=1.5)
+
+
+def test_table_backed_always_hits(flat_schema, figure9_table):
+    cache = FactCache(flat_schema, table=figure9_table)
+    assert cache.fetch(3) == figure9_table[3]
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 0
+
+
+def test_zero_fraction_always_misses(setup):
+    schema, table, heap = setup
+    cache = FactCache(schema, heap=heap, fraction=0.0)
+    assert cache.fetch(0) == table[0]
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+
+def test_full_fraction_never_misses(setup):
+    schema, table, heap = setup
+    cache = FactCache(schema, heap=heap, fraction=1.0)
+    heap.stats.reset()
+    for rowid in range(len(table)):
+        assert cache.fetch(rowid) == table[rowid]
+    assert cache.stats.misses == 0
+    assert heap.stats.rows_read == 0  # all answered from the cache
+
+
+def test_partial_fraction_mixes(setup):
+    schema, table, heap = setup
+    cache = FactCache(schema, heap=heap, fraction=0.4, seed=1)
+    for rowid in range(len(table)):
+        cache.fetch(rowid)
+    assert cache.stats.hits == 2  # 40% of 5 rows pinned
+    assert cache.stats.misses == 3
+
+
+def test_fetch_many_unsorted(setup):
+    schema, table, heap = setup
+    cache = FactCache(schema, heap=heap, fraction=0.0)
+    rows = cache.fetch_many([2, 0, 2])
+    assert rows == [table[2], table[0], table[2]]
+
+
+def test_fetch_many_sorted_uses_sequential_pass(setup):
+    schema, table, heap = setup
+    cache = FactCache(schema, heap=heap, fraction=0.0)
+    heap.stats.reset()
+    rows = cache.fetch_many([0, 2, 4], sorted_hint=True)
+    assert rows == [table[0], table[2], table[4]]
+    assert heap.stats.sequential_passes == 1
+    assert heap.stats.random_reads == 0
+
+
+def test_fetch_many_sorted_with_duplicates(setup):
+    schema, table, heap = setup
+    cache = FactCache(schema, heap=heap, fraction=0.0)
+    rows = cache.fetch_many([1, 1, 3], sorted_hint=True)
+    assert rows == [table[1], table[1], table[3]]
+
+
+def test_row_count(setup, flat_schema, figure9_table):
+    _schema, table, heap = setup
+    assert FactCache(flat_schema, heap=heap).row_count == len(table)
+    assert FactCache(flat_schema, table=figure9_table).row_count == len(table)

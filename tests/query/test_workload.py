@@ -1,0 +1,59 @@
+"""Unit tests for workload generation and bucketing."""
+
+import pytest
+
+from repro.query.workload import (
+    all_node_queries,
+    bucket_queries_by_result_size,
+    random_node_queries,
+)
+
+
+def test_random_queries_deterministic(paper_schema):
+    a = random_node_queries(paper_schema, 50, seed=1)
+    b = random_node_queries(paper_schema, 50, seed=1)
+    assert a == b
+    c = random_node_queries(paper_schema, 50, seed=2)
+    assert a != c
+
+
+def test_random_queries_within_lattice(paper_schema):
+    total = paper_schema.enumerator.n_nodes
+    for node in random_node_queries(paper_schema, 100, seed=3):
+        assert 0 <= paper_schema.node_id(node) < total
+
+
+def test_random_flat_queries_use_base_levels(paper_schema):
+    flat = set(paper_schema.lattice.flat_nodes())
+    for node in random_node_queries(paper_schema, 50, seed=4, flat=True):
+        assert node in flat
+
+
+def test_all_node_queries_count(paper_schema):
+    assert len(all_node_queries(paper_schema)) == 24
+    assert len(all_node_queries(paper_schema, flat=True)) == 8
+
+
+def test_bucketing_orders_and_splits(paper_schema):
+    queries = all_node_queries(paper_schema)[:10]
+    sizes = [100, 5, 20, 1, 50, 2, 9, 60, 30, 7]
+    buckets = bucket_queries_by_result_size(queries, sizes, n_buckets=5)
+    assert [len(bucket) for bucket in buckets] == [2, 2, 2, 2, 2]
+    size_of = dict(zip(queries, sizes))
+    flattened = [size_of[q] for bucket in buckets for q in bucket]
+    assert flattened == sorted(sizes)
+
+
+def test_bucketing_uneven_counts(paper_schema):
+    queries = all_node_queries(paper_schema)[:7]
+    sizes = list(range(7))
+    buckets = bucket_queries_by_result_size(queries, sizes, n_buckets=3)
+    assert [len(bucket) for bucket in buckets] == [3, 2, 2]
+
+
+def test_bucketing_validates(paper_schema):
+    queries = all_node_queries(paper_schema)[:3]
+    with pytest.raises(ValueError, match="one result size"):
+        bucket_queries_by_result_size(queries, [1], 2)
+    with pytest.raises(ValueError, match="at least one"):
+        bucket_queries_by_result_size(queries, [1, 2, 3], 0)

@@ -1,0 +1,67 @@
+"""Unit tests for aggregate functions."""
+
+import numpy as np
+import pytest
+
+from repro.relational.aggregates import (
+    MedianAgg,
+    aggregate_singleton,
+    make_aggregates,
+    merge_vectors,
+)
+
+
+def test_make_aggregates_names():
+    specs = make_aggregates(("sum", 0), ("count", 0), ("min", 1), ("max", 1))
+    assert [spec.name for spec in specs] == [
+        "sum_0", "count_0", "min_1", "max_1",
+    ]
+
+
+def test_unknown_aggregate_rejected():
+    with pytest.raises(ValueError, match="unknown aggregate"):
+        make_aggregates(("avg", 0))
+
+
+def test_aggregate_singleton():
+    specs = make_aggregates(("sum", 0), ("count", 0), ("min", 1))
+    assert aggregate_singleton(specs, (7, 3)) == (7, 1, 3)
+
+
+def test_merge_vectors():
+    specs = make_aggregates(("sum", 0), ("count", 0), ("min", 0), ("max", 0))
+    left = (10, 2, 4, 9)
+    right = (5, 3, 2, 11)
+    assert merge_vectors(specs, left, right) == (15, 5, 2, 11)
+
+
+def test_merge_agrees_with_reduce():
+    specs = make_aggregates(("sum", 0), ("min", 0), ("max", 0), ("count", 0))
+    partials = [3, 9, 1, 4]
+    array = np.array(partials, dtype=np.int64)
+    for spec in specs:
+        sequential = partials[0]
+        for value in partials[1:]:
+            sequential = spec.function.merge(sequential, value)
+        assert spec.function.reduce(array) == sequential
+
+
+def test_ufunc_matches_merge():
+    specs = make_aggregates(("sum", 0), ("min", 0), ("max", 0))
+    values = np.array([5, 2, 8], dtype=np.int64)
+    for spec in specs:
+        via_ufunc = int(spec.function.ufunc.reduce(values))
+        assert via_ufunc == spec.function.reduce(values)
+
+
+def test_median_is_holistic():
+    median = MedianAgg()
+    assert not median.distributive
+    assert median.ufunc is None
+    with pytest.raises(TypeError, match="holistic"):
+        median.merge(1, 2)
+
+
+def test_count_ignores_value():
+    (count,) = make_aggregates(("count", 0))
+    assert count.function.from_value(12345) == 1

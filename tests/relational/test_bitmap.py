@@ -1,0 +1,57 @@
+"""Unit tests for bitmap indices."""
+
+import pytest
+
+from repro.relational.bitmap import Bitmap
+
+
+def test_set_test_contains():
+    bitmap = Bitmap(20)
+    bitmap.set(0)
+    bitmap.set(19)
+    assert bitmap.test(0) and bitmap.test(19)
+    assert 19 in bitmap
+    assert not bitmap.test(10)
+    assert bitmap.test(-1) is False
+    assert bitmap.test(20) is False  # out of universe is just "not set"
+
+
+def test_set_out_of_universe_raises():
+    bitmap = Bitmap(8)
+    with pytest.raises(IndexError):
+        bitmap.set(8)
+    with pytest.raises(IndexError):
+        bitmap.set(-1)
+
+
+def test_from_rowids_and_iter_set_sorted():
+    bitmap = Bitmap.from_rowids([9, 2, 5, 2], universe=16)
+    assert list(bitmap.iter_set()) == [2, 5, 9]
+    assert bitmap.count() == 3
+
+
+def test_size_bytes_rounds_up():
+    assert Bitmap(0).size_bytes == 0
+    assert Bitmap(1).size_bytes == 1
+    assert Bitmap(8).size_bytes == 1
+    assert Bitmap(9).size_bytes == 2
+
+
+def test_negative_universe_rejected():
+    with pytest.raises(ValueError):
+        Bitmap(-1)
+
+
+def test_beneficial_threshold():
+    # 1000-row universe costs 125 bytes as a bitmap; a row-id list costs
+    # 4 bytes per entry, so >= 32 row-ids make the bitmap smaller.
+    assert not Bitmap.beneficial(rowid_count=31, universe=1000)
+    assert Bitmap.beneficial(rowid_count=32, universe=1000)
+
+
+def test_beneficial_matches_actual_sizes():
+    universe = 512
+    for count in (4, 16, 17, 100):
+        bitmap = Bitmap.from_rowids(range(count), universe)
+        expected = bitmap.size_bytes < count * 4
+        assert Bitmap.beneficial(count, universe) == expected

@@ -1,0 +1,78 @@
+"""Unit tests for the relation catalog."""
+
+import pytest
+
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+
+@pytest.fixture
+def catalog(tmp_path) -> Catalog:
+    built = Catalog(tmp_path / "cat")
+    yield built
+    built.close()
+
+
+SCHEMA = TableSchema.of("x", Column("y", ColumnType.INT64))
+
+
+def test_create_open_roundtrip(catalog):
+    heap = catalog.create("r", SCHEMA)
+    heap.append((1, 2))
+    reopened = catalog.open("r")
+    assert reopened is heap  # cached handle
+    assert reopened.read_row(0) == (1, 2)
+
+
+def test_schema_persists_across_catalog_instances(catalog, tmp_path):
+    catalog.create("r", SCHEMA).append((1, 2))
+    catalog.close()
+    fresh = Catalog(tmp_path / "cat")
+    heap = fresh.open("r")
+    assert heap.schema == SCHEMA
+    assert heap.read_row(0) == (1, 2)
+    fresh.close()
+
+
+def test_create_duplicate_rejected(catalog):
+    catalog.create("r", SCHEMA)
+    with pytest.raises(ValueError, match="already exists"):
+        catalog.create("r", SCHEMA)
+
+
+def test_open_missing_raises(catalog):
+    with pytest.raises(KeyError, match="no relation"):
+        catalog.open("ghost")
+
+
+def test_invalid_names_rejected(catalog):
+    for bad in ("", "a b", "../evil", "a/b"):
+        with pytest.raises(ValueError, match="invalid relation name"):
+            catalog.create(bad, SCHEMA)
+
+
+def test_drop_removes_data_and_metadata(catalog):
+    catalog.create("r", SCHEMA).append((1, 2))
+    catalog.drop("r")
+    assert not catalog.exists("r")
+    assert catalog.names() == []
+    catalog.create("r", SCHEMA)  # name reusable after drop
+
+
+def test_names_sorted(catalog):
+    for name in ("b", "a", "c"):
+        catalog.create(name, SCHEMA)
+    assert catalog.names() == ["a", "b", "c"]
+
+
+def test_total_size_bytes(catalog):
+    catalog.create("r", SCHEMA).append_many([(i, i) for i in range(5)])
+    catalog.create("s", SCHEMA).append((0, 0))
+    assert catalog.total_size_bytes() == 6 * SCHEMA.row_size_bytes
+
+
+def test_destroy_removes_directory(tmp_path):
+    catalog = Catalog(tmp_path / "gone")
+    catalog.create("r", SCHEMA)
+    catalog.destroy()
+    assert not (tmp_path / "gone").exists()

@@ -1,0 +1,90 @@
+"""Unit tests for disk-backed heap files."""
+
+import pytest
+
+from repro.relational.heap import HeapFile
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    return TableSchema.of("a", Column("m", ColumnType.INT64))
+
+
+@pytest.fixture
+def heap(tmp_path, schema) -> HeapFile:
+    with HeapFile(tmp_path / "t.dat", schema) as built:
+        yield built
+
+
+def test_append_and_read_row(heap):
+    assert heap.append((1, 100)) == 0
+    assert heap.append((2, 200)) == 1
+    assert heap.read_row(0) == (1, 100)
+    assert heap.read_row(1) == (2, 200)
+    assert len(heap) == 2
+
+
+def test_read_out_of_range(heap):
+    heap.append((1, 1))
+    with pytest.raises(IndexError):
+        heap.read_row(5)
+    with pytest.raises(IndexError):
+        heap.read_row(-1)
+
+
+def test_append_many_and_scan(heap):
+    rows = [(i, i * 10) for i in range(100)]
+    assert heap.append_many(rows) == 100
+    assert list(heap.scan()) == rows
+    assert len(heap) == 100
+
+
+def test_scan_spans_chunk_boundaries(tmp_path, schema):
+    heap = HeapFile(tmp_path / "big.dat", schema)
+    rows = [(i, i) for i in range(20_000)]  # > one 8192-row chunk
+    heap.append_many(rows)
+    assert list(heap.scan()) == rows
+    heap.close()
+
+
+def test_read_rows_sequential_matches_random(heap):
+    rows = [(i, i * 3) for i in range(50)]
+    heap.append_many(rows)
+    wanted = [3, 7, 7, 20, 49]
+    assert heap.read_rows_sequential(wanted) == heap.read_rows(wanted)
+
+
+def test_read_rows_sequential_requires_ascending(heap):
+    heap.append_many([(i, i) for i in range(5)])
+    with pytest.raises(ValueError, match="ascending"):
+        heap.read_rows_sequential([3, 1])
+
+
+def test_read_rows_sequential_empty(heap):
+    assert heap.read_rows_sequential([]) == []
+
+
+def test_stats_counters(heap):
+    heap.append_many([(i, i) for i in range(10)])
+    heap.stats.reset()
+    heap.read_row(4)
+    assert heap.stats.random_reads == 1
+    list(heap.scan())
+    assert heap.stats.sequential_passes == 1
+    assert heap.stats.rows_read == 11
+
+
+def test_persistence_across_reopen(tmp_path, schema):
+    path = tmp_path / "p.dat"
+    with HeapFile(path, schema) as heap:
+        heap.append((7, 70))
+        heap.flush()
+    with HeapFile(path, schema) as reopened:
+        assert len(reopened) == 1
+        assert reopened.read_row(0) == (7, 70)
+
+
+def test_size_bytes(heap, schema):
+    heap.append_many([(i, i) for i in range(4)])
+    assert heap.size_bytes == 4 * schema.row_size_bytes

@@ -1,0 +1,72 @@
+"""Unit tests for the fact-table inverted index."""
+
+import pytest
+
+from repro.relational.index import (
+    InvertedIndex,
+    filter_sorted,
+    intersect_sorted,
+)
+
+CODES = [2, 0, 1, 2, 0, 2]
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    return InvertedIndex.build(CODES, cardinality=3)
+
+
+def test_postings_sorted_and_complete(index):
+    assert index.rowids_for(0) == [1, 4]
+    assert index.rowids_for(1) == [2]
+    assert index.rowids_for(2) == [0, 3, 5]
+
+
+def test_out_of_range_member(index):
+    with pytest.raises(IndexError):
+        index.rowids_for(3)
+
+
+def test_rowids_for_members_merges_sorted(index):
+    assert index.rowids_for_members([0, 2]) == [0, 1, 3, 4, 5]
+
+
+def test_contains(index):
+    assert index.contains(0, 4)
+    assert not index.contains(0, 3)
+
+
+def test_count(index):
+    assert index.count(2) == 3
+
+
+def test_rowids_in_range(index):
+    assert index.rowids_in_range(1, 2) == [0, 2, 3, 5]
+    assert index.rowids_in_range(2, 1) == []
+    assert index.rowids_in_range(-5, 99) == sorted(range(6))
+
+
+def test_empty_build():
+    index = InvertedIndex.build([], cardinality=2)
+    assert index.rowids_for(0) == []
+    assert index.size_bytes == 0
+
+
+def test_size_bytes(index):
+    assert index.size_bytes == 4 * len(CODES)
+
+
+def test_cardinality_validation():
+    with pytest.raises(ValueError):
+        InvertedIndex(0)
+
+
+def test_intersect_sorted():
+    assert intersect_sorted([1, 3, 5, 7], [2, 3, 4, 7, 9]) == [3, 7]
+    assert intersect_sorted([], [1]) == []
+    assert intersect_sorted([5], [5]) == [5]
+
+
+def test_filter_sorted():
+    assert filter_sorted([9, 1, 5], [1, 2, 5]) == [1, 5]
+    assert filter_sorted([], [1]) == []

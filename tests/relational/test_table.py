@@ -1,0 +1,58 @@
+"""Unit tests for the in-memory Table."""
+
+import pytest
+
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = TableSchema.of("a", "b")
+    return Table(schema, [(1, 10), (2, 20), (3, 30)])
+
+
+def test_len_iter_getitem(table):
+    assert len(table) == 3
+    assert list(table) == [(1, 10), (2, 20), (3, 30)]
+    assert table[1] == (2, 20)
+
+
+def test_append_returns_rowid_and_validates(table):
+    assert table.append((4, 40)) == 3
+    with pytest.raises(ValueError):
+        table.append((4,))
+
+
+def test_column_values(table):
+    assert table.column_values("b") == [10, 20, 30]
+
+
+def test_project(table):
+    projected = table.project(["b"])
+    assert projected.rows == [(10,), (20,), (30,)]
+    assert projected.schema.names == ("b",)
+
+
+def test_slice_rows_preserves_global_rowids(table):
+    sliced = table.slice_rows([2, 0])
+    assert sliced.rows == [(3, 30), (1, 10)]
+    assert sliced.rowid_of(0) == 2
+    assert sliced.rowid_of(1) == 0
+    # A slice of a slice composes rowids through the original.
+    nested = sliced.slice_rows([1])
+    assert nested.rowid_of(0) == 0
+
+
+def test_rowid_of_identity_without_base(table):
+    assert table.rowid_of(2) == 2
+
+
+def test_base_rowids_length_mismatch_rejected():
+    schema = TableSchema.of("a")
+    with pytest.raises(ValueError, match="base_rowids"):
+        Table(schema, [(1,)], base_rowids=[0, 1])
+
+
+def test_size_bytes(table):
+    assert table.size_bytes == 3 * table.schema.row_size_bytes
