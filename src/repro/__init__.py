@@ -12,6 +12,8 @@ Public API highlights:
 * :mod:`repro.baselines` — BUC and BU-BST.
 """
 
+from __future__ import annotations
+
 from repro.bundle import CubeBundle, open_bundle, save_bundle
 from repro.core.cure import BuildStats, CubeResult, build_cube
 from repro.core.incremental import apply_delta, drift_report

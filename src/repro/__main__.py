@@ -1,5 +1,7 @@
 """``python -m repro`` → the cube-management CLI (:mod:`repro.cli`)."""
 
+from __future__ import annotations
+
 import sys
 
 from repro.cli import main

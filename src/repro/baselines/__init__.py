@@ -1,5 +1,7 @@
 """Baseline ROLAP cubing methods the paper compares against."""
 
+from __future__ import annotations
+
 from repro.baselines.buc import BucCube, BucStats, build_buc_cube
 from repro.baselines.bubst import BuBstCube, BuBstStats, build_bubst_cube
 

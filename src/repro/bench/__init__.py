@@ -1,5 +1,7 @@
 """The benchmark harness: one experiment per paper table/figure."""
 
+from __future__ import annotations
+
 from repro.bench.results import ExperimentTable
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 

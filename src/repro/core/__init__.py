@@ -1,5 +1,7 @@
 """CURE's core: execution, signatures, redundancy-free storage, partitioning."""
 
+from __future__ import annotations
+
 from repro.core.model import CubeSchema
 from repro.core.workingset import WorkingSet
 from repro.core.signature import Signature, SignaturePool

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
 
@@ -65,6 +66,14 @@ class BuildStats:
 
 
 # -- execution shapes -----------------------------------------------------------
+
+
+class ExecutionShape(Protocol):
+    """What the executor needs from a plan shape (P1/P2/P3 or custom)."""
+
+    def entry_levels(self, dim: int) -> tuple[int, ...]: ...
+
+    def dashed_children(self, dim: int, level: int) -> tuple[int, ...]: ...
 
 
 class HierarchicalShape:
@@ -150,7 +159,7 @@ class CureBuilder:
         schema: CubeSchema,
         storage: CubeStorage,
         pool: SignaturePool,
-        shape,
+        shape: ExecutionShape,
         min_count: int = 1,
         stats: BuildStats | None = None,
     ) -> None:
@@ -335,7 +344,7 @@ def build_cube(
     min_count: int = 1,
     dr_mode: bool = False,
     flat: bool = False,
-    shape=None,
+    shape: ExecutionShape | None = None,
 ) -> CubeResult:
     """Construct a CURE cube over an in-memory table or a named relation.
 

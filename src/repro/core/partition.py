@@ -27,7 +27,9 @@ paper's examples do.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
 
@@ -37,6 +39,15 @@ from repro.relational.engine import Engine
 from repro.relational.memory import MemoryBudgetExceeded
 
 _FLUSH_EVERY = 8192  # buffered rows per partition before an append burst
+
+
+class PartitionStats(Protocol):
+    """The pass-count fields the partitioner mutates (``BuildStats`` fits)."""
+
+    partitioned: bool
+    fact_read_passes: int
+    fact_write_passes: int
+    partitions_created: int
 
 
 @dataclass
@@ -209,7 +220,7 @@ def partition_relation(
     relation: str,
     schema: CubeSchema,
     decision: PartitionDecision,
-    stats=None,
+    stats: PartitionStats | None = None,
 ) -> tuple[list[str], str]:
     """One pass: route tuples to partitions and hash-build the coarse node.
 
@@ -337,7 +348,9 @@ def _persist_coarse(
     return name
 
 
-def load_coarse_working_set(engine: Engine, name: str, schema: CubeSchema):
+def load_coarse_working_set(
+    engine: Engine, name: str, schema: CubeSchema
+) -> tuple[WorkingSet, Callable[[], None]]:
     """Load a persisted coarse node into a working set, under a memory
     reservation.  Returns ``(working_set, release_callable)``."""
     loaded = engine.load(name)
@@ -471,7 +484,7 @@ def partition_relation_pair(
     relation: str,
     schema: CubeSchema,
     decision: PairPartitionDecision,
-    stats=None,
+    stats: PartitionStats | None = None,
 ) -> tuple[list[str], str, str]:
     """One pass: route tuples by (A_L, B_M) pair and build N1 and N2.
 

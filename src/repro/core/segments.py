@@ -11,10 +11,12 @@ their relative timings stay comparable.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import NamedTuple
 
 import numpy as np
 
+from repro.core.model import CubeSchema
 from repro.core.workingset import WorkingSet
 
 
@@ -39,7 +41,7 @@ def reduce_segments(
     working: WorkingSet,
     positions: np.ndarray,
     keys: np.ndarray,
-    ufuncs,
+    ufuncs: Sequence[np.ufunc],
 ) -> SegmentBatch:
     """Sort ``positions`` by ``keys`` and reduce every segment at once."""
     n = len(keys)
@@ -76,7 +78,7 @@ def reduce_segments(
     )
 
 
-def aggregate_ufuncs(schema) -> list[np.ufunc]:
+def aggregate_ufuncs(schema: CubeSchema) -> list[np.ufunc]:
     """The reduceat kernels of a schema's aggregates (raises on holistic)."""
     ufuncs = [spec.function.ufunc for spec in schema.aggregates]
     if any(ufunc is None for ufunc in ufuncs):

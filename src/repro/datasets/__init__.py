@@ -1,5 +1,7 @@
 """Workload generators: synthetic Zipf data, APB-1, real-data simulacra."""
 
+from __future__ import annotations
+
 from repro.datasets.synthetic import generate_flat_dataset, zipf_probabilities
 from repro.datasets.apb import APB_LEVELS, apb_dimensions, generate_apb_dataset
 from repro.datasets.real import generate_covtype_like, generate_sep85l_like

@@ -1,5 +1,7 @@
 """Dimension hierarchies: levels, roll-up maps, linear and complex shapes."""
 
+from __future__ import annotations
+
 from repro.hierarchy.dimension import Dimension, Level
 from repro.hierarchy.builders import (
     complex_dimension,

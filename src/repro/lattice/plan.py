@@ -23,6 +23,7 @@ building it, since flat lattices at high dimensionality have ``2^D`` nodes.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.lattice.lattice import CubeLattice
@@ -43,7 +44,7 @@ class PlanNode:
     node: CubeNode
     children: list[tuple[PlanEdge, "PlanNode"]] = field(default_factory=list)
 
-    def walk(self):
+    def walk(self) -> Iterator["PlanNode"]:
         """Yield every plan node in depth-first (execution) order."""
         yield self
         for _edge, child in self.children:

@@ -1,0 +1,35 @@
+"""cubelint — domain-aware static analysis for the CURE reproduction.
+
+The CURE engine's correctness rests on structural invariants that no unit
+test observes directly: node relations must stay row-id based (Section 5
+of the paper), the lattice must never be materialized at ``2^D`` nodes
+(Section 3), and the signature pool must stay bounded (Section 3.2).
+``cubelint`` is an AST-level gate that machine-checks the coding rules
+protecting those invariants, plus a handful of general hygiene rules,
+with a committed baseline ratchet so violation counts can only shrink.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint src/repro
+    PYTHONPATH=src python -m repro.lint src/repro --update-baseline
+
+See ``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.lint.analyzer import FileReport, analyze_file, analyze_paths
+from repro.lint.baseline import Baseline, RatchetResult, check_ratchet
+from repro.lint.rules import ALL_RULES, Rule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileReport",
+    "RatchetResult",
+    "Rule",
+    "Violation",
+    "analyze_file",
+    "analyze_paths",
+    "check_ratchet",
+]

@@ -1,0 +1,96 @@
+"""The baseline ratchet: violation counts may shrink but never grow.
+
+``tools/lint_baseline.json`` records, per ``<path>::<rule>`` key, how many
+violations were present when the gate was introduced.  CI fails when any
+key's observed count exceeds its baselined count (or a new key appears);
+when a module is cleaned up, ``--update-baseline`` shrinks the file and
+the lower bar becomes the new ceiling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.analyzer import FileReport
+from repro.lint.rules import Violation
+
+_VERSION = 1
+
+
+def _key(path: str, rule_id: str) -> str:
+    return f"{path}::{rule_id}"
+
+
+@dataclass
+class Baseline:
+    """Persisted violation ceilings, keyed ``<path>::<rule>``."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        counts = {str(k): int(v) for k, v in data.get("counts", {}).items()}
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "counts": dict(sorted(self.counts.items())),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def observed_counts(reports: Iterable[FileReport]) -> dict[str, int]:
+    """Active-violation counts per ``<path>::<rule>`` key."""
+    counter: Counter[str] = Counter()
+    for report in reports:
+        for violation in report.violations:
+            counter[_key(violation.path, violation.rule_id)] += 1
+    return dict(counter)
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of comparing a run against the baseline."""
+
+    new_violations: list[Violation] = field(default_factory=list)
+    regressed_keys: dict[str, tuple[int, int]] = field(default_factory=dict)
+    baselined_count: int = 0
+    shrunk_keys: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_violations
+
+
+def check_ratchet(reports: Iterable[FileReport], baseline: Baseline) -> RatchetResult:
+    """Compare observed violations against the committed ceilings."""
+    result = RatchetResult()
+    by_key: dict[str, list[Violation]] = {}
+    for report in reports:
+        for violation in report.violations:
+            by_key.setdefault(_key(violation.path, violation.rule_id), []).append(violation)
+
+    for key, violations in sorted(by_key.items()):
+        allowed = baseline.counts.get(key, 0)
+        if len(violations) > allowed:
+            result.new_violations.extend(violations)
+            result.regressed_keys[key] = (allowed, len(violations))
+        else:
+            result.baselined_count += len(violations)
+
+    for key, allowed in sorted(baseline.counts.items()):
+        observed = len(by_key.get(key, []))
+        if observed < allowed:
+            result.shrunk_keys[key] = (allowed, observed)
+    return result

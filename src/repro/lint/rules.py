@@ -1,0 +1,401 @@
+"""The cubelint rule catalogue (R1–R8).
+
+Each rule protects either a structural invariant of the CURE engine
+(R1–R3, R6, R7 — see the paper-section references in
+``docs/static_analysis.md``) or a hygiene property that keeps the
+codebase honest as it grows (R4, R5, R8).
+
+Rules are scoped by package directory: a rule with ``only_in`` fires only
+for files whose path contains one of those directory components, and a
+rule with ``not_in`` never fires under those components.  Scoping by path
+parts keeps the rules applicable both to ``src/repro/<pkg>/`` modules and
+to the test fixture corpus under ``tests/lint/fixtures/<pkg>/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a concrete source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str
+    parts: frozenset[str]
+    tree: ast.Module
+    imports: dict[str, str]
+
+
+def resolve_imports(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported as.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import time as
+    t`` maps ``t -> time.time``; relative imports keep their textual module
+    path (``from ..relational import heap`` maps ``heap ->
+    relational.heap``), which suffix matching handles.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                table[local] = alias.name if alias.asname else alias.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                origin = f"{module}.{alias.name}" if module else alias.name
+                table[alias.asname or alias.name] = origin
+    return table
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """The ``a.b.c`` text of a Name/Attribute chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolved_call_name(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Dotted name of an expression with its head resolved through imports."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _matches(dotted: str, banned: str) -> bool:
+    return dotted == banned or dotted.endswith("." + banned)
+
+
+class Rule:
+    """Base class: id, fix hint, package scoping, and an AST check."""
+
+    rule_id: str = ""
+    title: str = ""
+    hint: str = ""
+    only_in: frozenset[str] | None = None
+    not_in: frozenset[str] = frozenset()
+
+    def applies_to(self, parts: frozenset[str]) -> bool:
+        if self.not_in & parts:
+            return False
+        if self.only_in is not None:
+            return bool(self.only_in & parts)
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: ModuleContext, node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(self.rule_id, ctx.path, line, col, message)
+
+
+class HeapAccessOutsideRelational(Rule):
+    """R1: row-id / heap-page primitives stay inside ``relational/``.
+
+    Node relations are redundancy-free because they store *opaque* row-ids
+    into the fact heap (paper Section 5); any module that imports
+    ``repro.relational.heap`` directly can construct or interpret raw
+    row-ids and silently break that opacity.  Everything else goes through
+    ``Engine`` / ``Catalog`` / ``Table``.
+    """
+
+    rule_id = "R1"
+    title = "no direct heap/row-id access outside relational/"
+    hint = "go through repro.relational.engine.Engine or Catalog; only relational/ may import repro.relational.heap"
+    not_in = frozenset({"relational"})
+
+    _BANNED_MODULE = "relational.heap"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _matches(alias.name, self._BANNED_MODULE):
+                        yield self.violation(
+                            ctx, node, f"direct import of `{alias.name}` outside relational/"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if _matches(module, self._BANNED_MODULE):
+                    yield self.violation(
+                        ctx, node, f"direct import from `{module}` outside relational/"
+                    )
+                elif _matches(module, "relational") or (node.level > 0 and module == ""):
+                    for alias in node.names:
+                        if alias.name == "heap":
+                            yield self.violation(
+                                ctx,
+                                node,
+                                "direct import of the heap module outside relational/",
+                            )
+
+
+class MaterializedPlanInHotPath(Rule):
+    """R2: hot paths must use the analytic plan form.
+
+    ``build_plan_p1/p2/p3`` materialize the plan tree, which for flat
+    lattices has ``2^D`` nodes (paper Section 3).  ``core/`` execution and
+    ``query/`` answering must navigate the implicit tree via
+    ``plan_parent`` / ``plan_ancestors``; materialized trees are for
+    tests, rendering, and the bench ablations only.
+    """
+
+    rule_id = "R2"
+    title = "no materialized plan trees in core/ or query/"
+    hint = "use repro.lattice.plan.plan_parent / plan_ancestors; materialized build_plan_p* trees are O(2^D)"
+    only_in = frozenset({"core", "query"})
+
+    _BANNED = frozenset({"build_plan_p1", "build_plan_p2", "build_plan_p3"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in self._BANNED:
+                        yield self.violation(
+                            ctx, node, f"import of materialized-plan builder `{alias.name}`"
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = resolved_call_name(node.func, ctx.imports)
+                if dotted is not None and dotted.rpartition(".")[2] in self._BANNED:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"call to materialized-plan builder `{dotted.rpartition('.')[2]}`",
+                    )
+
+
+class WallClockInCore(Rule):
+    """R3: no wall-clock reads in ``core/``.
+
+    Cube construction must be deterministic and timing-agnostic; elapsed
+    durations use the monotonic ``time.perf_counter``, and wall-clock
+    timestamps (benchmark metadata, result stamping) live in ``bench/``.
+    """
+
+    rule_id = "R3"
+    title = "no wall-clock calls in core/"
+    hint = "use time.perf_counter for durations; wall-clock timestamps belong in bench/"
+    only_in = frozenset({"core"})
+
+    _BANNED = (
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.now",
+        "datetime.today",
+        "datetime.utcnow",
+        "date.today",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolved_call_name(node.func, ctx.imports)
+            if dotted is None:
+                continue
+            for banned in self._BANNED:
+                if _matches(dotted, banned):
+                    yield self.violation(ctx, node, f"wall-clock call `{dotted}` in core/")
+                    break
+
+
+class MutableDefaultOrBareExcept(Rule):
+    """R4: no mutable default arguments, no bare ``except:``."""
+
+    rule_id = "R4"
+    title = "no mutable defaults / bare except"
+    hint = "default to None and create inside the function; catch a concrete exception type"
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+    )
+
+    def _is_mutable(self, default: ast.expr) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(default, ast.Call):
+            dotted = dotted_name(default.func)
+            return dotted is not None and dotted.rpartition(".")[2] in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        yield self.violation(ctx, default, "mutable default argument")
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(ctx, node, "bare `except:` swallows everything")
+
+
+class MissingFutureAnnotations(Rule):
+    """R5: every module opts into postponed annotation evaluation."""
+
+    rule_id = "R5"
+    title = "module missing `from __future__ import annotations`"
+    hint = "add `from __future__ import annotations` directly after the module docstring"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if not ctx.tree.body:
+            return
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "__future__"
+                and any(alias.name == "annotations" for alias in node.names)
+            ):
+                return
+        yield Violation(
+            self.rule_id, ctx.path, 1, 0, "module lacks `from __future__ import annotations`"
+        )
+
+
+class ImplicitNumpyDtype(Rule):
+    """R6: numpy accumulator allocations carry an explicit dtype.
+
+    SUM/COUNT accumulators that default to a platform-dependent integer
+    dtype overflow silently at int32 on some platforms — on the exact
+    aggregation paths the paper's measures flow through.
+    """
+
+    rule_id = "R6"
+    title = "numpy allocation without explicit dtype"
+    hint = "pass dtype= explicitly (e.g. np.zeros(n, dtype=np.int64)) on every accumulator allocation"
+
+    # allocator -> index of the positional argument that would carry dtype
+    _ALLOCATORS = {"zeros": 1, "empty": 1, "ones": 1, "full": 2, "arange": 3}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolved_call_name(node.func, ctx.imports)
+            if dotted is None:
+                continue
+            name = dotted.rpartition(".")[2]
+            if name not in self._ALLOCATORS or not _matches(dotted, f"numpy.{name}"):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > self._ALLOCATORS[name]:
+                continue
+            yield self.violation(ctx, node, f"`{name}` allocation without explicit dtype")
+
+
+class AssertForValidation(Rule):
+    """R7: ``assert`` is not a data validator in core/ or relational/.
+
+    Asserts vanish under ``python -O``; a cube built with optimizations on
+    would skip the check and emit corrupt aggregates instead of raising.
+    """
+
+    rule_id = "R7"
+    title = "no assert-based validation in core/ or relational/"
+    hint = "raise ValueError/RuntimeError explicitly; assert statements are stripped under python -O"
+    only_in = frozenset({"core", "relational"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    ctx, node, "`assert` used for validation (stripped under -O)"
+                )
+
+
+class UntypedPublicFunction(Rule):
+    """R8: public functions in invariant-heavy packages are fully typed."""
+
+    rule_id = "R8"
+    title = "public function not fully type-annotated"
+    hint = "annotate every parameter and the return type; strict typing is the contract for core/, lattice/, relational/"
+    only_in = frozenset({"core", "lattice", "relational"})
+
+    def _missing(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        args = node.args
+        missing = [
+            a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+            if a.annotation is None and a.arg not in ("self", "cls")
+        ]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return")
+        return missing
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        functions: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.append(node)
+            elif isinstance(node, ast.ClassDef):
+                functions.extend(
+                    child
+                    for child in node.body
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                )
+        for function in functions:
+            if function.name.startswith("_"):
+                continue
+            missing = self._missing(function)
+            if missing:
+                yield self.violation(
+                    ctx,
+                    function,
+                    f"public function `{function.name}` missing annotations: "
+                    + ", ".join(missing),
+                )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    HeapAccessOutsideRelational(),
+    MaterializedPlanInHotPath(),
+    WallClockInCore(),
+    MutableDefaultOrBareExcept(),
+    MissingFutureAnnotations(),
+    ImplicitNumpyDtype(),
+    AssertForValidation(),
+    UntypedPublicFunction(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

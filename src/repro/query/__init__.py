@@ -1,5 +1,7 @@
 """Query answering over every cube format the reproduction builds."""
 
+from __future__ import annotations
+
 from repro.query.cache import FactCache
 from repro.query.answer import (
     QueryStats,

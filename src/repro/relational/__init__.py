@@ -7,6 +7,8 @@ memory manager that decides when data "fits in memory", bitmap indices, and
 the aggregate functions cube construction relies on.
 """
 
+from __future__ import annotations
+
 from repro.relational.aggregates import (
     AggregateFunction,
     AggregateSpec,

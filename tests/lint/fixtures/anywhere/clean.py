@@ -1,0 +1,11 @@
+"""A module that violates nothing — the negative control."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def total(values: np.ndarray) -> int:
+    acc = np.zeros(1, dtype=np.int64)
+    acc[0] = int(values.sum())
+    return int(acc[0])

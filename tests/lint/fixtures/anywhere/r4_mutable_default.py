@@ -1,0 +1,15 @@
+"""R4 fixture: mutable default argument plus a bare except."""
+
+from __future__ import annotations
+
+
+def collect(item: int, into: list = []) -> list:
+    into.append(item)
+    return into
+
+
+def swallow() -> None:
+    try:
+        collect(1)
+    except:
+        pass

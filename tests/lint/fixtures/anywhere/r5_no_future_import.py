@@ -1,0 +1,5 @@
+"""R5 fixture: module without the future annotations import."""
+
+
+def shout(text: str) -> str:
+    return text.upper()

@@ -1,0 +1,9 @@
+"""R2 fixture: core code materializing a 2^D plan tree."""
+
+from __future__ import annotations
+
+from repro.lattice.plan import build_plan_p3
+
+
+def expand_everything(lattice: object) -> object:
+    return build_plan_p3(lattice)

@@ -1,0 +1,9 @@
+"""R3 fixture: wall-clock read inside core/."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

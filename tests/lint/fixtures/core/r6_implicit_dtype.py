@@ -1,0 +1,9 @@
+"""R6 fixture: numpy accumulator without an explicit dtype."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fresh_accumulator(n: int) -> np.ndarray:
+    return np.zeros(n)

@@ -1,0 +1,7 @@
+"""R8 fixture: un-annotated public function in lattice/."""
+
+from __future__ import annotations
+
+
+def node_count(lattice):
+    return len(lattice)

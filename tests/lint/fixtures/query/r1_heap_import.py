@@ -1,0 +1,9 @@
+"""R1 fixture: a query-layer module importing heap primitives directly."""
+
+from __future__ import annotations
+
+from repro.relational.heap import HeapFile
+
+
+def peek(heap: HeapFile) -> tuple:
+    return heap.read_row(0)

@@ -1,0 +1,8 @@
+"""R7 fixture: assert-based validation in relational/."""
+
+from __future__ import annotations
+
+
+def read_row(rowid: int) -> int:
+    assert rowid >= 0, "rowid must be non-negative"
+    return rowid

@@ -1,0 +1,65 @@
+"""The ratchet: counts may shrink, never grow."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.analyzer import FileReport
+from repro.lint.baseline import Baseline, check_ratchet, observed_counts
+from repro.lint.rules import Violation
+
+
+def _report(path: str, *rule_ids: str) -> FileReport:
+    report = FileReport(path)
+    for index, rule_id in enumerate(rule_ids, start=1):
+        report.violations.append(Violation(rule_id, path, index, 0, "msg"))
+    return report
+
+
+def test_within_baseline_is_ok() -> None:
+    baseline = Baseline({"a.py::R3": 2})
+    result = check_ratchet([_report("a.py", "R3", "R3")], baseline)
+    assert result.ok
+    assert result.baselined_count == 2
+    assert result.shrunk_keys == {}
+
+
+def test_exceeding_baseline_fails_with_all_occurrences() -> None:
+    baseline = Baseline({"a.py::R3": 1})
+    result = check_ratchet([_report("a.py", "R3", "R3")], baseline)
+    assert not result.ok
+    assert len(result.new_violations) == 2
+    assert result.regressed_keys == {"a.py::R3": (1, 2)}
+
+
+def test_new_key_fails() -> None:
+    result = check_ratchet([_report("a.py", "R7")], Baseline())
+    assert not result.ok
+    assert result.regressed_keys == {"a.py::R7": (0, 1)}
+
+
+def test_shrunk_key_is_reported_but_ok() -> None:
+    baseline = Baseline({"a.py::R3": 3, "b.py::R5": 1})
+    result = check_ratchet([_report("a.py", "R3")], baseline)
+    assert result.ok
+    assert result.shrunk_keys == {"a.py::R3": (3, 1), "b.py::R5": (1, 0)}
+
+
+def test_observed_counts_groups_by_file_and_rule() -> None:
+    counts = observed_counts([_report("a.py", "R3", "R3", "R8"), _report("b.py", "R5")])
+    assert counts == {"a.py::R3": 2, "a.py::R8": 1, "b.py::R5": 1}
+
+
+def test_baseline_round_trip(tmp_path: Path) -> None:
+    path = tmp_path / "tools" / "baseline.json"
+    Baseline({"a.py::R3": 2}).save(path)
+    assert Baseline.load(path).counts == {"a.py::R3": 2}
+
+
+def test_baseline_rejects_unknown_version(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "counts": {}}')
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)

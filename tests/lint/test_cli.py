@@ -1,0 +1,87 @@
+"""End-to-end CLI behavior: exit codes, baseline flags, rule listing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_violations_without_baseline_exit_1(capsys: pytest.CaptureFixture) -> None:
+    code = main([str(FIXTURES / "core" / "r3_wall_clock.py"), "--no-baseline"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "R3" in captured.out
+    assert "wall-clock" in captured.out
+    assert "hint:" in captured.out
+
+
+def test_clean_file_exits_0(capsys: pytest.CaptureFixture) -> None:
+    code = main([str(FIXTURES / "anywhere" / "clean.py"), "--no-baseline"])
+    assert code == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_update_baseline_then_gate_passes(
+    tmp_path: Path, capsys: pytest.CaptureFixture
+) -> None:
+    baseline = tmp_path / "baseline.json"
+    assert main([str(FIXTURES), "--baseline", str(baseline), "--update-baseline"]) == 0
+    data = json.loads(baseline.read_text())
+    assert data["version"] == 1
+    assert sum(data["counts"].values()) > 0
+    # same corpus against its own baseline: green
+    assert main([str(FIXTURES), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_select_runs_only_named_rules(capsys: pytest.CaptureFixture) -> None:
+    code = main([str(FIXTURES), "--no-baseline", "--select", "R7"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "R7" in captured.out
+    assert "R3" not in captured.out
+
+
+def test_select_unknown_rule_is_a_usage_error(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    with pytest.raises(SystemExit) as exc:
+        main([str(FIXTURES), "--select", "R99"])
+    assert exc.value.code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_no_files_found_is_a_usage_error(
+    tmp_path: Path, capsys: pytest.CaptureFixture
+) -> None:
+    assert main([str(tmp_path / "nope"), "--no-baseline"]) == 2
+    assert "no python files" in capsys.readouterr().err
+
+
+def test_list_rules(capsys: pytest.CaptureFixture) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+        assert rule_id in out
+
+
+def test_show_suppressed(capsys: pytest.CaptureFixture) -> None:
+    main(
+        [
+            str(FIXTURES / "core" / "r3_suppressed.py"),
+            "--no-baseline",
+            "--show-suppressed",
+        ]
+    )
+    assert "[suppressed]" in capsys.readouterr().out
+
+
+def test_statistics(capsys: pytest.CaptureFixture) -> None:
+    main([str(FIXTURES), "--no-baseline", "--statistics"])
+    assert "active" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Each rule fires on its fixture with the right id and location."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.analyzer import analyze_file
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# fixture -> list of (rule_id, line) expected as *active* violations
+EXPECTED = {
+    "query/r1_heap_import.py": [("R1", 5)],
+    "core/r2_materialized_plan.py": [("R2", 5), ("R2", 9)],
+    "core/r3_wall_clock.py": [("R3", 9)],
+    "anywhere/r4_mutable_default.py": [("R4", 6), ("R4", 14)],
+    "anywhere/r5_no_future_import.py": [("R5", 1)],
+    "core/r6_implicit_dtype.py": [("R6", 9)],
+    "relational/r7_assert_validation.py": [("R7", 7)],
+    "lattice/r8_untyped_public.py": [("R8", 6)],
+    "anywhere/clean.py": [],
+}
+
+
+@pytest.mark.parametrize("fixture", sorted(EXPECTED))
+def test_fixture_fires_expected_rules(fixture: str) -> None:
+    report = analyze_file(FIXTURES / fixture)
+    observed = [(v.rule_id, v.line) for v in report.violations]
+    assert observed == EXPECTED[fixture]
+
+
+def test_every_rule_is_covered_by_a_fixture() -> None:
+    covered = {rule_id for hits in EXPECTED.values() for rule_id, _ in hits}
+    assert covered == set(RULES_BY_ID)
+
+
+def test_rule_catalogue_shape() -> None:
+    assert len(ALL_RULES) == 8
+    for rule in ALL_RULES:
+        assert rule.rule_id.startswith("R")
+        assert rule.hint and rule.title
+
+
+def test_violation_render_has_location() -> None:
+    report = analyze_file(FIXTURES / "core" / "r3_wall_clock.py")
+    (violation,) = report.violations
+    rendered = violation.render()
+    assert "r3_wall_clock.py:9:" in rendered
+    assert "R3" in rendered
+
+
+def test_package_scoping_keeps_rules_out_of_other_layers(tmp_path: Path) -> None:
+    # the same wall-clock call outside core/ is not an R3 violation
+    module = tmp_path / "bench" / "timing.py"
+    module.parent.mkdir()
+    module.write_text(
+        '"""Bench timing helper."""\n\n'
+        "from __future__ import annotations\n\n"
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    return time.time()\n"
+    )
+    report = analyze_file(module)
+    assert report.violations == []

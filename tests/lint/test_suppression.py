@@ -1,0 +1,61 @@
+"""`# cubelint: disable=` pragmas silence hits but keep them visible."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.analyzer import analyze_file, parse_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_inline_disable_moves_hit_to_suppressed() -> None:
+    report = analyze_file(FIXTURES / "core" / "r3_suppressed.py")
+    assert report.violations == []
+    assert [(v.rule_id, v.line) for v in report.suppressed] == [("R3", 9)]
+
+
+def test_disable_without_ids_silences_every_rule(tmp_path: Path) -> None:
+    module = tmp_path / "core" / "mod.py"
+    module.parent.mkdir()
+    module.write_text(
+        '"""Doc."""\n\n'
+        "from __future__ import annotations\n\n"
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    return time.time()  # cubelint: disable\n"
+    )
+    report = analyze_file(module)
+    assert report.violations == []
+    assert len(report.suppressed) == 1
+
+
+def test_file_level_disable(tmp_path: Path) -> None:
+    module = tmp_path / "mod.py"
+    module.write_text(
+        "# cubelint: disable-file=R5\n"
+        "def shout(text: str) -> str:\n"
+        "    return text.upper()\n"
+    )
+    report = analyze_file(module)
+    assert report.violations == []
+    assert [v.rule_id for v in report.suppressed] == ["R5"]
+
+
+def test_disable_for_other_rule_does_not_silence(tmp_path: Path) -> None:
+    module = tmp_path / "core" / "mod.py"
+    module.parent.mkdir()
+    module.write_text(
+        '"""Doc."""\n\n'
+        "from __future__ import annotations\n\n"
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    return time.time()  # cubelint: disable=R8\n"
+    )
+    report = analyze_file(module)
+    assert [v.rule_id for v in report.violations] == ["R3"]
+
+
+def test_parse_suppressions_multiple_ids() -> None:
+    suppressions = parse_suppressions("x = 1  # cubelint: disable=R3, R8\n")
+    assert suppressions.by_line == {1: {"R3", "R8"}}
