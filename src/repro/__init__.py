@@ -10,6 +10,8 @@ Public API highlights:
 * :mod:`repro.datasets` — the paper's workloads (synthetic Zipf, APB-1,
   real-dataset simulacra).
 * :mod:`repro.baselines` — BUC and BU-BST.
+* :class:`repro.DurableCubeBuild` / :func:`repro.verify_cube` — crash-safe
+  manifest-driven builds with checkpointed resume (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from __future__ import annotations
 from repro.bundle import CubeBundle, open_bundle, save_bundle
 from repro.core.cure import BuildStats, CubeResult, build_cube
 from repro.core.incremental import apply_delta, drift_report
+from repro.core.recovery import BuildManifest, DurableCubeBuild, verify_cube
 from repro.core.model import CubeSchema
 from repro.core.storage import CatFormat, CubeStorage
 from repro.core.variants import VARIANTS, CureConfig
@@ -36,6 +39,7 @@ from repro.relational.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuildManifest",
     "BuildStats",
     "CubeBundle",
     "CubePlanner",
@@ -47,6 +51,7 @@ __all__ = [
     "CureConfig",
     "Dimension",
     "DimensionSpec",
+    "DurableCubeBuild",
     "Engine",
     "MeasureSpec",
     "QueryRequest",
@@ -65,4 +70,5 @@ __all__ = [
     "make_aggregates",
     "open_bundle",
     "save_bundle",
+    "verify_cube",
 ]

@@ -23,6 +23,7 @@ from repro.hierarchy.dimension import Dimension, Level
 from repro.query.cache import FactCache
 from repro.relational.aggregates import make_aggregates
 from repro.relational.catalog import Catalog
+from repro.relational.durable import atomic_write_text
 from repro.relational.table import Table
 
 BUNDLE_META = "bundle.json"
@@ -113,7 +114,7 @@ def save_bundle(
     finally:
         catalog.close()
     meta = {"schema": schema_to_json(schema), "extra": extra or {}}
-    meta_path.write_text(json.dumps(meta))
+    atomic_write_text(meta_path, json.dumps(meta))
     return root
 
 

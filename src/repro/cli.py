@@ -34,10 +34,12 @@ import sys
 from pathlib import Path
 
 from repro.bundle import open_bundle, save_bundle
+from repro.core.recovery import verify_cube
 from repro.core.variants import VARIANTS
 from repro.datasets.loader import DimensionSpec, MeasureSpec, load_csv
 from repro.lattice.node import CubeNode
 from repro.query import DimensionSlice, answer_cure_sliced
+from repro.relational.catalog import Catalog
 
 
 def _parse_spec(path: str) -> tuple[list[DimensionSpec], list[MeasureSpec], tuple | None]:
@@ -203,6 +205,19 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_verify_cube(args) -> int:
+    """Replay a durable build's checksums and row counts; exit 0 iff sound."""
+    catalog_root = Path(args.catalog)
+    manifest_path = (
+        Path(args.manifest)
+        if args.manifest
+        else catalog_root / f"{args.prefix}.manifest.json"
+    )
+    report = verify_cube(Catalog(catalog_root), manifest_path)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -246,6 +261,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cache", type=float, default=1.0,
                        help="fact cache fraction in [0, 1]")
     query.set_defaults(handler=cmd_query)
+
+    verify = commands.add_parser(
+        "verify-cube",
+        help="replay a crash-safe build's checksums and cardinalities",
+    )
+    verify.add_argument(
+        "--catalog", required=True, help="engine catalog directory"
+    )
+    verify.add_argument(
+        "--prefix", default="cube", help="cube relation prefix"
+    )
+    verify.add_argument(
+        "--manifest", default=None,
+        help="manifest path (default <catalog>/<prefix>.manifest.json)",
+    )
+    verify.set_defaults(handler=cmd_verify_cube)
     return parser
 
 

@@ -37,6 +37,7 @@ from repro.core.partition import (
     load_coarse_working_set,
     partition_relation,
     partition_relation_pair,
+    repartition_partition,
     select_partition_level,
     select_partition_pair,
 )
@@ -62,6 +63,8 @@ class BuildStats:
     fact_write_passes: int = 0
     partitions_created: int = 0
     partitioned: bool = False
+    repartitioned_partitions: int = 0
+    subpartitions_created: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -345,6 +348,7 @@ def build_cube(
     dr_mode: bool = False,
     flat: bool = False,
     shape: ExecutionShape | None = None,
+    partition_strategy: str = "exact",
 ) -> CubeResult:
     """Construct a CURE cube over an in-memory table or a named relation.
 
@@ -355,6 +359,10 @@ def build_cube(
     ``pool_capacity=None`` gives the idealized unbounded signature pool.
     ``min_count > 1`` builds an iceberg cube.  ``flat=True`` builds only
     the base-level (2^D) nodes — the FCURE variant.
+    ``partition_strategy`` selects how per-member weights are obtained for
+    partition-level selection (``"exact"`` or ``"uniform"``); a partition
+    an optimistic estimate under-provisioned is re-partitioned adaptively
+    at load time instead of aborting the build.
     """
     if (table is None) == (engine is None or relation is None):
         raise ValueError("provide either `table` or both `engine` and `relation`")
@@ -403,6 +411,7 @@ def build_cube(
                 engine,
                 relation,
                 pool_bytes,
+                partition_strategy,
             )
 
     stats.elapsed_seconds = time.perf_counter() - started
@@ -435,6 +444,7 @@ def _build_partitioned(
     engine: Engine,
     relation: str,
     pool_bytes: int,
+    partition_strategy: str = "exact",
 ) -> PartitionDecision:
     """The Section 4 pipeline: partition once, then two construction phases."""
     if not schema.all_distributive:
@@ -449,7 +459,9 @@ def _build_partitioned(
     pool_token = engine.memory.reserve(pool_bytes, what="signature pool")
     try:
         try:
-            decision = select_partition_level(engine, relation, schema)
+            decision = select_partition_level(
+                engine, relation, schema, partition_strategy
+            )
         except MemoryBudgetExceeded:
             # The "rare case" of Section 4: no single level works — fall
             # back to partitioning on pairs of dimensions.
@@ -468,9 +480,9 @@ def _build_partitioned(
         )
         stats.fact_read_passes += 1  # loading the partitions re-reads R once
         for name in partitions:
-            with engine.load(name) as loaded:
-                working = WorkingSet.from_partition_table(schema, loaded)
-                builder.run_partition(working, decision.level)
+            process_partition(
+                builder, engine, schema, name, decision.level, min_count
+            )
 
         # Phase 2: everything else, from the coarse node N (reloaded from
         # disk — it was persisted during the partition pass, line 19 of
@@ -492,6 +504,76 @@ def _build_partitioned(
         return decision
     finally:
         engine.memory.release(pool_token)
+
+
+def process_partition(
+    builder: CureBuilder,
+    engine: Engine,
+    schema: CubeSchema,
+    name: str,
+    level: int,
+    min_count: int,
+) -> None:
+    """Build one partition's nodes, re-partitioning adaptively on overflow.
+
+    Partition files are sized from *estimates*; when loading one exceeds
+    the remaining budget (a skewed member under the ``uniform`` strategy,
+    or a mid-build shock), the partition is split at a finer level of
+    dimension 0 and processed piecewise — sub-partitions cover dimension 0
+    at levels ≤ L'', a local coarse node covers (L'', L] — instead of
+    aborting the whole build.  Sub-partitions that still overflow recurse.
+    """
+    try:
+        loaded = engine.load(name)
+    except MemoryBudgetExceeded:
+        _process_oversized_partition(
+            builder, engine, schema, name, level, min_count
+        )
+        return
+    with loaded as table:
+        working = WorkingSet.from_partition_table(schema, table)
+        builder.run_partition(working, level)
+
+
+def _process_oversized_partition(
+    builder: CureBuilder,
+    engine: Engine,
+    schema: CubeSchema,
+    name: str,
+    level: int,
+    min_count: int,
+) -> None:
+    """Adaptive re-partitioning: split, recurse, then the local coarse."""
+    split = repartition_partition(
+        engine, name, schema, level, stats=builder.stats
+    )
+    for sub_name in split.partition_names:
+        process_partition(
+            builder, engine, schema, sub_name, split.level, min_count
+        )
+        engine.catalog.drop(sub_name)
+
+    # The parent's (L'', L] slice of the lattice, rebuilt from the local
+    # coarse node: enter dimension 0 at L, floor the descent at L''+1.
+    base_levels = [0] * schema.n_dimensions
+    base_levels[0] = split.level + 1
+    local_shape = HierarchicalShape(schema, tuple(base_levels))
+    local_builder = CureBuilder(
+        schema,
+        builder.storage,
+        builder.pool,
+        local_shape,
+        min_count,
+        builder.stats,
+    )
+    coarse, release_coarse = load_coarse_working_set(
+        engine, split.coarse_name, schema
+    )
+    try:
+        local_builder.run_partition(coarse, level)
+    finally:
+        release_coarse()
+    engine.catalog.drop(split.coarse_name)
 
 
 def _build_pair_partitioned(

@@ -33,7 +33,7 @@ from typing import Protocol
 
 import numpy as np
 
-from repro.core.model import CubeSchema
+from repro.core.model import AggregateSpec, CubeSchema
 from repro.core.workingset import WorkingSet
 from repro.relational.engine import Engine
 from repro.relational.memory import MemoryBudgetExceeded
@@ -48,6 +48,8 @@ class PartitionStats(Protocol):
     fact_read_passes: int
     fact_write_passes: int
     partitions_created: int
+    repartitioned_partitions: int
+    subpartitions_created: int
 
 
 @dataclass
@@ -221,6 +223,7 @@ def partition_relation(
     schema: CubeSchema,
     decision: PartitionDecision,
     stats: PartitionStats | None = None,
+    name_suffix: str = "",
 ) -> tuple[list[str], str]:
     """One pass: route tuples to partitions and hash-build the coarse node.
 
@@ -228,6 +231,10 @@ def partition_relation(
     persisted coarse node ``N`` (``<relation>.coarseN`` — the paper's
     ``nodeRelation``, written to disk here and loaded again for phase 2 so
     it does not occupy memory while partitions are being processed).
+
+    ``name_suffix`` lets crash-safe builds write to staging names
+    (``….part0.tmp``) that are atomically published once the pass — and
+    its checksums — completed.
     """
     heap = engine.relation(relation)
     dimension = schema.dimensions[0]
@@ -244,7 +251,7 @@ def partition_relation(
         }
         n_bins = dimension.cardinality(level)
 
-    names = [f"{relation}.part{i}" for i in range(n_bins)]
+    names = [f"{relation}.part{i}{name_suffix}" for i in range(n_bins)]
     for name in names:
         if engine.catalog.exists(name):
             engine.catalog.drop(name)
@@ -272,28 +279,7 @@ def partition_relation(
 
         upper_code = 0 if project_out else upper_map[base_code]
         key = (upper_code,) + row[1:n_dims]
-        measures = row[n_dims:]
-        entry = coarse.get(key)
-        if entry is None:
-            coarse[key] = [
-                [
-                    spec.function.from_value(measures[spec.measure_index])
-                    for spec in specs
-                ],
-                1,
-                rowid,
-                base_code,
-            ]
-        else:
-            partials = entry[0]
-            for y, spec in enumerate(specs):
-                partials[y] = spec.function.merge(
-                    partials[y],
-                    spec.function.from_value(measures[spec.measure_index]),
-                )
-            entry[1] += 1
-            if rowid < entry[2]:
-                entry[2] = rowid
+        _fold_coarse(coarse, key, row[n_dims:], rowid, base_code, specs)
 
     for bin_index, buffer in enumerate(buffers):
         if buffer:
@@ -307,12 +293,48 @@ def partition_relation(
         stats.fact_write_passes += 1
         stats.partitions_created = n_bins
 
-    coarse_name = _persist_coarse(engine, relation, schema, coarse)
+    coarse_name = _persist_coarse(engine, relation, schema, coarse, name_suffix)
     return names, coarse_name
 
 
+def _fold_coarse(
+    coarse: dict[tuple, list],
+    key: tuple,
+    measures: tuple,
+    rowid: int,
+    base_code: int,
+    specs: tuple[AggregateSpec, ...],
+) -> None:
+    """Merge one fact tuple into a coarse-node hash entry."""
+    entry = coarse.get(key)
+    if entry is None:
+        coarse[key] = [
+            [
+                spec.function.from_value(measures[spec.measure_index])
+                for spec in specs
+            ],
+            1,
+            rowid,
+            base_code,
+        ]
+    else:
+        partials = entry[0]
+        for y, spec in enumerate(specs):
+            partials[y] = spec.function.merge(
+                partials[y],
+                spec.function.from_value(measures[spec.measure_index]),
+            )
+        entry[1] += 1
+        if rowid < entry[2]:
+            entry[2] = rowid
+
+
 def _persist_coarse(
-    engine: Engine, relation: str, schema: CubeSchema, coarse: dict[tuple, list]
+    engine: Engine,
+    relation: str,
+    schema: CubeSchema,
+    coarse: dict[tuple, list],
+    name_suffix: str = "",
 ) -> str:
     """Write ``N`` to disk, mirroring the paper's ``nodeRelation``.
 
@@ -336,7 +358,7 @@ def _persist_coarse(
         Column("weight", ColumnType.INT64),
         Column("min_rowid", ColumnType.INT64),
     ]
-    name = f"{relation}.coarseN"
+    name = f"{relation}.coarseN{name_suffix}"
     if engine.catalog.exists(name):
         engine.catalog.drop(name)
     heap = engine.create_relation(name, TableSchema(tuple(columns)))
@@ -365,6 +387,139 @@ def load_coarse_working_set(
         schema, dim_rows, agg_rows, weights, rowids
     )
     return working, loaded.release
+
+
+# -- adaptive re-partitioning: recover from an under-provisioning estimate ------------
+
+
+@dataclass
+class Repartition:
+    """Outcome of adaptively splitting one over-budget partition.
+
+    ``level`` is the finer level L'' the sub-partitions are sound on.  The
+    local coarse node aggregates dimension 0 at A_{L''+1}; running it
+    through ``run_partition(·, parent_level)`` under a shape floored at
+    L''+1 rebuilds exactly the parent's [L''+1, L] slice of the lattice,
+    so together the pieces cover precisely what the parent partition
+    would have covered.
+    """
+
+    level: int
+    parent_level: int
+    partition_names: list[str]
+    coarse_name: str
+    n_rows: int
+
+
+def repartition_partition(
+    engine: Engine,
+    partition: str,
+    schema: CubeSchema,
+    parent_level: int,
+    stats: PartitionStats | None = None,
+) -> Repartition:
+    """Split one over-budget partition at a finer level of dimension 0.
+
+    Partition-level selection works from *estimates*; when one
+    under-provisions — a skewed member under the ``uniform`` strategy, or
+    a budget shock at load time — loading that partition raises
+    :class:`MemoryBudgetExceeded` even though the build as a whole is
+    viable.  Instead of aborting, this re-runs the Section 4 machinery
+    locally: pick the maximum ``L'' < parent_level`` whose members (exact
+    counts, one scan of the partition) and local coarse node both fit the
+    remaining budget, route the partition's rows into sound
+    sub-partitions (``<partition>.sub<i>``), and persist a local coarse
+    node at ``A_{L''+1}`` (``<partition>.coarseN``).  Callers recurse on
+    a sub-partition that *still* fails to load.
+    """
+    heap = engine.relation(partition)
+    total_rows = len(heap)
+    dimension = schema.dimensions[0]
+    available = engine.memory.free_bytes
+    if available is None:
+        raise ValueError("repartition_partition needs a bounded memory budget")
+    partition_schema = schema.partition_schema
+    partition_row_bytes = partition_schema.row_size_bytes
+    ws_row_bytes = _working_set_row_bytes(schema)
+
+    member_rows_per_level = _exact_member_rows(heap, schema)
+    decision: PartitionDecision | None = None
+    for level in range(parent_level - 1, -1, -1):
+        counts = member_rows_per_level[level]
+        max_member = int(counts.max()) if counts.size else 0
+        estimated_coarse = estimate_coarse_rows(schema, level, total_rows)
+        if (
+            max_member * partition_row_bytes <= available
+            and estimated_coarse * ws_row_bytes <= available
+        ):
+            decision = PartitionDecision(
+                level=level,
+                n_members=dimension.cardinality(level),
+                max_member_rows=max_member,
+                estimated_coarse_rows=estimated_coarse,
+                available_bytes=available,
+                strategy="exact",
+                member_rows={
+                    int(code): int(count)
+                    for code, count in enumerate(counts)
+                    if count
+                },
+            )
+            break
+    if decision is None:
+        raise MemoryBudgetExceeded(
+            f"partition {partition!r} exceeds the memory budget and no "
+            f"finer level of dimension {dimension.name!r} below level "
+            f"{parent_level} yields memory-sized sound sub-partitions"
+        )
+
+    level_map = dimension.base_maps[decision.level]
+    assignment = _bin_members(decision, partition_row_bytes)
+    n_bins = (max(assignment.values()) + 1) if assignment else 0
+    names = [f"{partition}.sub{i}" for i in range(n_bins)]
+    for name in names:
+        if engine.catalog.exists(name):
+            engine.catalog.drop(name)
+    heaps = [engine.create_relation(name, partition_schema) for name in names]
+    buffers: list[list[tuple]] = [[] for _ in range(n_bins)]
+
+    # level+1 < all_level always holds here (level < parent_level <= top),
+    # so the local coarse never projects dimension 0 out.
+    upper_map = dimension.base_maps[decision.level + 1]
+    specs = schema.aggregates
+    n_dims = schema.n_dimensions
+    coarse: dict[tuple, list] = {}
+
+    for row in heap.scan():
+        base_code = row[0]
+        bin_index = assignment.get(level_map[base_code], 0)
+        buffer = buffers[bin_index]
+        buffer.append(row)  # partition rows already carry their fact rowid
+        if len(buffer) >= _FLUSH_EVERY:
+            heaps[bin_index].append_many(buffer)
+            buffer.clear()
+        key = (upper_map[base_code],) + row[1:n_dims]
+        _fold_coarse(
+            coarse, key, row[n_dims:-1], row[-1], base_code, specs
+        )
+
+    for bin_index, buffer in enumerate(buffers):
+        if buffer:
+            heaps[bin_index].append_many(buffer)
+    for sub_heap in heaps:
+        sub_heap.flush()
+
+    coarse_name = _persist_coarse(engine, partition, schema, coarse)
+    if stats is not None:
+        stats.repartitioned_partitions += 1
+        stats.subpartitions_created += n_bins
+    return Repartition(
+        level=decision.level,
+        parent_level=parent_level,
+        partition_names=names,
+        coarse_name=coarse_name,
+        n_rows=total_rows,
+    )
 
 
 # -- pair partitioning: the extension Section 4 mentions but omits --------------------

@@ -1,0 +1,605 @@
+"""Crash-safe cube construction: manifest, checkpoints, resume, verify.
+
+A partitioned CURE build is long-running — one write pass over the fact
+table plus a construction phase per partition — which makes it exactly the
+kind of job that dies halfway.  This module wraps the Section 4 pipeline
+in a write-ahead *build manifest* so a killed build resumes instead of
+restarting:
+
+* **Stage A — partitioning.**  Partition files and the coarse node are
+  written to ``….wip`` staging names and atomically published
+  (write-tmp + fsync + rename) once the pass completes; the manifest then
+  records their names, row counts, and SHA-256 checksums.  A resumed
+  build *verifies* those checksums — a torn partition file from a crash
+  mid-pass fails verification and the pass is redone; intact files are
+  reused, saving one read and one write of the fact table.
+* **Stage B — per-partition construction, checkpointed.**  The signature
+  pool is flushed after every partition (an empty pool means the
+  in-memory :class:`~repro.core.storage.CubeStorage` *is* the complete
+  build state), and every ``checkpoint_every`` partitions that state is
+  persisted under a fresh ``<prefix>.ckpt<k>`` name set.  The manifest
+  points at a checkpoint only after all of its files and checksums are on
+  disk, so a crash mid-checkpoint is invisible: resume restores the last
+  referenced checkpoint and re-runs only the partitions after it.
+* **Stage C — coarse node + final commit.**  The finished cube is
+  persisted to staging names, each relation is atomically promoted, and
+  the manifest flips to ``complete`` with per-file checksums and row
+  counts.  :func:`verify_cube` replays those checksums and cross-checks
+  node cardinalities; the CLI exposes it as ``repro verify-cube``.
+
+Because the pool is flushed at every partition boundary in *both* the
+uninterrupted and the resumed build, the NT/CAT classification windows are
+identical, and a build crashed at any injection point resumes to a cube
+that is byte-identical to an uninterrupted checkpointed build — the
+property the crash/resume suite enumerates exhaustively.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.cure import (
+    BuildStats,
+    CubeResult,
+    CureBuilder,
+    HierarchicalShape,
+    build_cube,
+    process_partition,
+)
+from repro.core.model import CubeSchema
+from repro.core.partition import (
+    PartitionDecision,
+    load_coarse_working_set,
+    partition_relation,
+    select_partition_level,
+)
+from repro.core.signature import PoolStats, SignaturePool
+from repro.core.storage import CubeStorage
+from repro.relational.catalog import Catalog
+from repro.relational.durable import (
+    atomic_write_text,
+    file_checksum,
+    remove_file,
+    text_checksum,
+)
+from repro.relational.engine import Engine
+from repro.relational.sortops import SortStats
+
+MANIFEST_VERSION = 1
+
+STAGE_INIT = "init"
+STAGE_PARTITIONED = "partitioned"
+STAGE_PHASE1 = "phase1"
+STAGE_COMPLETE = "complete"
+
+_STAGING_SUFFIX = ".wip"
+
+
+class ManifestError(RuntimeError):
+    """The build manifest is missing, incompatible, or contradicts disk."""
+
+
+def _stats_to_json(stats: BuildStats) -> dict[str, Any]:
+    return asdict(stats)
+
+
+def _stats_from_json(payload: dict[str, Any]) -> BuildStats:
+    data = dict(payload)
+    sort = SortStats(**data.pop("sort", {}))
+    return BuildStats(sort=sort, **data)
+
+
+@dataclass
+class BuildManifest:
+    """The durable record of one cube build's progress.
+
+    Serialized as JSON (atomically — the manifest is itself a committed
+    artifact) after every stage transition and checkpoint.  Checksums are
+    SHA-256 over the referenced relations' data files.
+    """
+
+    relation: str
+    prefix: str
+    stage: str = STAGE_INIT
+    options: dict[str, Any] = field(default_factory=dict)
+    fact_checksum: str = ""
+    fact_rows: int = 0
+    partition_level: int | None = None
+    partitions: list[dict[str, Any]] = field(default_factory=list)
+    coarse: dict[str, Any] | None = None
+    completed_partitions: int = 0
+    checkpoint: dict[str, Any] | None = None
+    final: dict[str, Any] | None = None
+    stats: dict[str, Any] | None = None
+
+    def save(self, path: Path) -> None:
+        payload = {"version": MANIFEST_VERSION, **asdict(self)}
+        atomic_write_text(path, json.dumps(payload, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: Path) -> "BuildManifest":
+        if not path.exists():
+            raise ManifestError(f"no build manifest at {path}")
+        payload = json.loads(path.read_text())
+        if payload.pop("version", None) != MANIFEST_VERSION:
+            raise ManifestError(
+                f"manifest at {path} has an unsupported version"
+            )
+        return cls(**payload)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_cube`: checksum + cardinality replay."""
+
+    ok: bool
+    checked_files: int
+    problems: list[str]
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"cube verified: {self.checked_files} files match"
+        lines = [f"cube verification FAILED ({len(self.problems)} problems)"]
+        lines.extend(f"  - {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+@dataclass
+class DurableCubeBuild:
+    """A crash-safe, resumable cube build over a named relation.
+
+    ``build()`` starts from scratch (overwriting any previous manifest);
+    ``resume()`` picks up after a crash, verifying every artifact the
+    crashed build claimed to have committed before trusting it.  The two
+    paths produce byte-identical cubes because the signature pool is
+    flushed at every partition boundary either way.
+
+    ``checkpoint_every`` trades checkpoint I/O against re-done work on
+    resume; the flush *barriers* happen every partition regardless, so
+    the cadence never changes the cube's content.
+    """
+
+    schema: CubeSchema
+    engine: Engine
+    relation: str
+    prefix: str = "cube"
+    pool_capacity: int | None = 1_000_000
+    min_count: int = 1
+    dr_mode: bool = False
+    partition_strategy: str = "exact"
+    checkpoint_every: int = 1
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.engine.catalog.root / f"{self.prefix}.manifest.json"
+
+    # -- entry points -------------------------------------------------------
+
+    def build(self) -> CubeResult:
+        """Run a fresh build, discarding any earlier manifest or state."""
+        manifest = BuildManifest(
+            relation=self.relation,
+            prefix=self.prefix,
+            options=self._options(),
+            fact_checksum=self.engine.catalog.checksum(self.relation),
+            fact_rows=len(self.engine.relation(self.relation)),
+        )
+        manifest.save(self.manifest_path)
+        return self._run(manifest)
+
+    def resume(self) -> CubeResult:
+        """Continue a crashed build from its last committed state."""
+        manifest = BuildManifest.load(self.manifest_path)
+        if manifest.relation != self.relation or manifest.prefix != self.prefix:
+            raise ManifestError(
+                f"manifest at {self.manifest_path} describes relation "
+                f"{manifest.relation!r} / prefix {manifest.prefix!r}, not "
+                f"{self.relation!r} / {self.prefix!r}"
+            )
+        if manifest.options != self._options():
+            raise ManifestError(
+                "build options changed since the manifest was written; "
+                "resuming would mix incompatible cubes — run build() instead"
+            )
+        actual = self.engine.catalog.checksum(self.relation)
+        if actual != manifest.fact_checksum:
+            raise ManifestError(
+                f"fact relation {self.relation!r} changed since the build "
+                f"started; a resumed cube would not describe it"
+            )
+        return self._run(manifest)
+
+    def _options(self) -> dict[str, Any]:
+        return {
+            "pool_capacity": self.pool_capacity,
+            "min_count": self.min_count,
+            "dr_mode": self.dr_mode,
+            "partition_strategy": self.partition_strategy,
+        }
+
+    # -- the driver ---------------------------------------------------------
+
+    def _run(self, manifest: BuildManifest) -> CubeResult:
+        engine = self.engine
+        catalog = engine.catalog
+        started = time.perf_counter()
+
+        if manifest.stage == STAGE_COMPLETE:
+            report = verify_cube(catalog, self.manifest_path)
+            if not report.ok:
+                raise ManifestError(
+                    "manifest says the build completed but the cube fails "
+                    "verification:\n" + report.describe()
+                )
+            storage = CubeStorage.load(catalog, self.schema, self.prefix)
+            storage.row_resolver = self._resolver()
+            stats = _stats_from_json(manifest.stats or {})
+            return CubeResult(storage, stats, PoolStats(), None)
+
+        heap = engine.relation(self.relation)
+        pool_bytes = (
+            SignaturePool.size_bytes(self.pool_capacity, self.schema.n_aggregates)
+            if self.pool_capacity
+            else 0
+        )
+        if engine.memory.fits(heap.size_bytes + pool_bytes):
+            # In-memory fast path: nothing partial ever reaches disk, so
+            # there is no intermediate state to checkpoint — build whole,
+            # then commit atomically.
+            result = build_cube(
+                self.schema,
+                engine=engine,
+                relation=self.relation,
+                pool_capacity=self.pool_capacity,
+                min_count=self.min_count,
+                dr_mode=self.dr_mode,
+                partition_strategy=self.partition_strategy,
+            )
+            self._commit_final(manifest, result.storage, result.stats)
+            result.stats.elapsed_seconds = time.perf_counter() - started
+            return result
+
+        result = self._run_partitioned(manifest, pool_bytes)
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _run_partitioned(
+        self, manifest: BuildManifest, pool_bytes: int
+    ) -> CubeResult:
+        engine = self.engine
+        catalog = engine.catalog
+        heap = engine.relation(self.relation)
+        decision = None
+
+        pool_token = engine.memory.reserve(pool_bytes, what="signature pool")
+        try:
+            if manifest.stage in (
+                STAGE_PARTITIONED,
+                STAGE_PHASE1,
+            ) and self._partitions_intact(manifest):
+                level = int(manifest.partition_level or 0)
+            else:
+                decision, level = self._stage_partition(manifest)
+            partition_names = [str(p["name"]) for p in manifest.partitions]
+
+            if self._checkpoint_intact(manifest):
+                checkpoint = manifest.checkpoint or {}
+                storage = CubeStorage.load(
+                    catalog, self.schema, str(checkpoint["prefix"])
+                )
+                stats = _stats_from_json(dict(checkpoint["stats"]))
+                completed = int(checkpoint["completed_partitions"])
+            else:
+                storage = CubeStorage(self.schema, dr_mode=self.dr_mode)
+                storage.partition_level = level
+                stats = _stats_from_json(manifest.stats or {})
+                completed = 0
+                manifest.checkpoint = None
+                manifest.completed_partitions = 0
+            storage.fact_row_count = len(heap)
+            storage.row_resolver = self._resolver()
+
+            pool = SignaturePool(
+                self.pool_capacity,
+                on_nt=storage.write_nt,
+                on_cats=storage.write_cat_run,
+                on_statistics=storage.decide_format,
+            )
+            builder = CureBuilder(
+                self.schema,
+                storage,
+                pool,
+                HierarchicalShape(self.schema),
+                self.min_count,
+                stats,
+            )
+            if completed == 0:
+                stats.fact_read_passes += 1  # the partitions re-read R once
+
+            index = completed
+            while index < len(partition_names):
+                process_partition(
+                    builder,
+                    engine,
+                    self.schema,
+                    partition_names[index],
+                    level,
+                    self.min_count,
+                )
+                index += 1
+                # Barrier: with the pool empty, the in-memory storage is
+                # the complete build state — and the barrier is taken in
+                # every run, so resumed and uninterrupted builds classify
+                # NTs vs CATs over identical windows.
+                pool.flush()
+                if (
+                    index % max(1, self.checkpoint_every) == 0
+                    or index == len(partition_names)
+                ):
+                    self._write_checkpoint(manifest, storage, stats, index)
+
+            coarse = manifest.coarse or {}
+            base_levels = [0] * self.schema.n_dimensions
+            base_levels[0] = level + 1
+            coarse_shape = HierarchicalShape(self.schema, tuple(base_levels))
+            working, release_coarse = load_coarse_working_set(
+                engine, str(coarse["name"]), self.schema
+            )
+            try:
+                coarse_builder = CureBuilder(
+                    self.schema,
+                    storage,
+                    pool,
+                    coarse_shape,
+                    self.min_count,
+                    stats,
+                )
+                coarse_builder.run(working)
+                coarse_builder.finish()
+            finally:
+                release_coarse()
+        finally:
+            engine.memory.release(pool_token)
+
+        self._commit_final(manifest, storage, stats)
+        return CubeResult(storage, stats, pool.stats, decision)
+
+    # -- stages -------------------------------------------------------------
+
+    def _stage_partition(
+        self, manifest: BuildManifest
+    ) -> tuple[PartitionDecision, int]:
+        """Stage A: write partition files to staging names, publish, record."""
+        engine = self.engine
+        catalog = engine.catalog
+        stats = BuildStats()
+        decision = select_partition_level(
+            engine, self.relation, self.schema, self.partition_strategy
+        )
+        staged_names, staged_coarse = partition_relation(
+            engine,
+            self.relation,
+            self.schema,
+            decision,
+            stats,
+            name_suffix=_STAGING_SUFFIX,
+        )
+        entries: list[dict[str, Any]] = []
+        for staged in staged_names:
+            final = staged[: -len(_STAGING_SUFFIX)]
+            catalog.publish(staged, final)
+            entries.append(
+                {
+                    "name": final,
+                    "checksum": catalog.checksum(final),
+                    "rows": len(catalog.open(final)),
+                }
+            )
+        coarse_final = staged_coarse[: -len(_STAGING_SUFFIX)]
+        catalog.publish(staged_coarse, coarse_final)
+        manifest.partitions = entries
+        manifest.coarse = {
+            "name": coarse_final,
+            "checksum": catalog.checksum(coarse_final),
+            "rows": len(catalog.open(coarse_final)),
+        }
+        manifest.partition_level = decision.level
+        manifest.stage = STAGE_PARTITIONED
+        manifest.completed_partitions = 0
+        manifest.checkpoint = None
+        manifest.stats = _stats_to_json(stats)
+        manifest.save(self.manifest_path)
+        return decision, decision.level
+
+    def _write_checkpoint(
+        self,
+        manifest: BuildManifest,
+        storage: CubeStorage,
+        stats: BuildStats,
+        completed: int,
+    ) -> None:
+        """Persist the build state and flip the manifest to reference it.
+
+        The manifest is the commit point: a crash before the save leaves
+        it pointing at the previous (intact) checkpoint, and the stale
+        files of the half-written one are dropped when its id is reused.
+        """
+        catalog = self.engine.catalog
+        previous = manifest.checkpoint
+        ckpt_id = int(previous["id"]) + 1 if previous else 0
+        ckpt_prefix = f"{self.prefix}.ckpt{ckpt_id}"
+        self._drop_prefixed(f"{ckpt_prefix}.")
+        remove_file(catalog.root / f"{ckpt_prefix}.meta.json")
+        names = storage.persist(catalog, ckpt_prefix)
+        manifest.checkpoint = {
+            "id": ckpt_id,
+            "prefix": ckpt_prefix,
+            "files": {name: catalog.checksum(name) for name in names},
+            "meta_checksum": file_checksum(
+                catalog.root / f"{ckpt_prefix}.meta.json"
+            ),
+            "completed_partitions": completed,
+            "stats": _stats_to_json(stats),
+        }
+        manifest.completed_partitions = completed
+        manifest.stage = STAGE_PHASE1
+        manifest.save(self.manifest_path)
+        if previous is not None:
+            self._drop_prefixed(str(previous["prefix"]) + ".")
+            remove_file(
+                catalog.root / (str(previous["prefix"]) + ".meta.json")
+            )
+
+    def _commit_final(
+        self,
+        manifest: BuildManifest,
+        storage: CubeStorage,
+        stats: BuildStats,
+    ) -> None:
+        """Stage C: publish every cube relation atomically, flip to complete."""
+        catalog = self.engine.catalog
+        staging = f"{self.prefix}{_STAGING_SUFFIX}"
+        self._drop_prefixed(f"{staging}.")
+        remove_file(catalog.root / f"{staging}.meta.json")
+        # Clear final names from any earlier (possibly crashed) commit so
+        # stale node relations cannot shadow the new cube.
+        for name in catalog.names():
+            if name.startswith(f"{self.prefix}.n") or name == f"{self.prefix}.aggregates":
+                catalog.drop(name)
+
+        staged = storage.persist(catalog, staging)
+        files: dict[str, str] = {}
+        row_counts: dict[str, int] = {}
+        for name in staged:
+            final = self.prefix + name[len(staging):]
+            catalog.publish(name, final)
+            files[final] = catalog.checksum(final)
+            row_counts[final] = len(catalog.open(final))
+        meta_text = (catalog.root / f"{staging}.meta.json").read_text()
+        atomic_write_text(
+            catalog.root / f"{self.prefix}.meta.json", meta_text
+        )
+        remove_file(catalog.root / f"{staging}.meta.json")
+
+        manifest.final = {
+            "files": files,
+            "row_counts": row_counts,
+            "meta_checksum": text_checksum(meta_text),
+            "aggregate_rows": len(storage.aggregates_rows),
+        }
+        manifest.stage = STAGE_COMPLETE
+        manifest.checkpoint = None
+        manifest.stats = _stats_to_json(stats)
+        manifest.save(self.manifest_path)
+        # Best-effort cleanup of build scaffolding; a crash here costs
+        # only disk space, never correctness.
+        self._drop_prefixed(f"{self.prefix}.ckpt")
+        for entry in manifest.partitions:
+            if catalog.exists(str(entry["name"])):
+                catalog.drop(str(entry["name"]))
+        if manifest.coarse and catalog.exists(str(manifest.coarse["name"])):
+            catalog.drop(str(manifest.coarse["name"]))
+
+    # -- verification helpers -----------------------------------------------
+
+    def _partitions_intact(self, manifest: BuildManifest) -> bool:
+        catalog = self.engine.catalog
+        if not manifest.partitions or manifest.coarse is None:
+            return False
+        entries = list(manifest.partitions) + [manifest.coarse]
+        for entry in entries:
+            name = str(entry["name"])
+            if not catalog.exists(name):
+                return False
+            if catalog.checksum(name) != entry["checksum"]:
+                return False
+        return True
+
+    def _checkpoint_intact(self, manifest: BuildManifest) -> bool:
+        catalog = self.engine.catalog
+        checkpoint = manifest.checkpoint
+        if checkpoint is None:
+            return False
+        meta_path = catalog.root / (str(checkpoint["prefix"]) + ".meta.json")
+        if file_checksum(meta_path) != checkpoint["meta_checksum"]:
+            return False
+        for name, checksum in dict(checkpoint["files"]).items():
+            if not catalog.exists(name):
+                return False
+            if catalog.checksum(name) != checksum:
+                return False
+        return True
+
+    def _resolver(self) -> Callable[[int], tuple[int, ...]]:
+        heap = self.engine.relation(self.relation)
+        schema = self.schema
+        return lambda rowid: schema.dim_values(heap.read_row(rowid))
+
+    def _drop_prefixed(self, prefix: str) -> None:
+        catalog = self.engine.catalog
+        for name in catalog.names():
+            if name.startswith(prefix):
+                catalog.drop(name)
+
+
+def verify_cube(catalog: Catalog, manifest_path: Path) -> VerificationReport:
+    """Replay a completed build's checksums and cardinalities.
+
+    Checks, against the manifest: that the build reached ``complete``;
+    that every published relation's SHA-256 matches; that the cube's meta
+    side file matches; that every relation's row count (node NT/TT/CAT
+    cardinalities and AGGREGATES) matches; and that the fact relation
+    still has the recorded row count.  Exposed as ``repro verify-cube``.
+    """
+    problems: list[str] = []
+    checked = 0
+    try:
+        manifest = BuildManifest.load(manifest_path)
+    except ManifestError as error:
+        return VerificationReport(False, 0, [str(error)])
+    if manifest.stage != STAGE_COMPLETE:
+        problems.append(
+            f"build did not complete (stage {manifest.stage!r}); "
+            f"resume it before verifying"
+        )
+        return VerificationReport(False, 0, problems)
+    final = manifest.final or {}
+    for name, checksum in dict(final.get("files", {})).items():
+        checked += 1
+        if not catalog.exists(name):
+            problems.append(f"missing relation {name!r}")
+            continue
+        actual = catalog.checksum(name)
+        if actual != checksum:
+            problems.append(
+                f"checksum mismatch for {name!r}: "
+                f"manifest {checksum[:12]}…, disk {actual[:12]}…"
+            )
+    meta_path = catalog.root / f"{manifest.prefix}.meta.json"
+    checked += 1
+    if not meta_path.exists():
+        problems.append(f"missing cube metadata {meta_path.name!r}")
+    elif text_checksum(meta_path.read_text()) != final.get("meta_checksum"):
+        problems.append(f"checksum mismatch for {meta_path.name!r}")
+    for name, rows in dict(final.get("row_counts", {})).items():
+        if not catalog.exists(name):
+            continue  # already reported above
+        actual_rows = len(catalog.open(name))
+        if actual_rows != rows:
+            problems.append(
+                f"cardinality mismatch for {name!r}: "
+                f"manifest {rows}, disk {actual_rows}"
+            )
+    if catalog.exists(manifest.relation):
+        fact_rows = len(catalog.open(manifest.relation))
+        if fact_rows != manifest.fact_rows:
+            problems.append(
+                f"fact relation {manifest.relation!r} has {fact_rows} rows; "
+                f"the cube was built over {manifest.fact_rows}"
+            )
+    return VerificationReport(not problems, checked, problems)

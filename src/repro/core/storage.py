@@ -37,9 +37,9 @@ from dataclasses import dataclass, field
 
 from repro.core.model import CubeSchema
 from repro.core.signature import FormatStatistics, Signature, SignatureRun
-from repro.lattice.node import CubeNode
 from repro.relational.bitmap import Bitmap
 from repro.relational.catalog import Catalog
+from repro.relational.durable import atomic_write_text
 from repro.relational.schema import Column, ColumnType, TableSchema
 
 VALUE_BYTES = 4
@@ -266,12 +266,15 @@ class CubeStorage:
 
     # -- persistence ---------------------------------------------------------------
 
-    def persist(self, catalog: Catalog, prefix: str = "cube") -> None:
+    def persist(self, catalog: Catalog, prefix: str = "cube") -> list[str]:
         """Materialize every non-empty relation as a heap file.
 
         Layout: ``<prefix>.meta`` (JSON side file), ``<prefix>.aggregates``,
-        and per node ``<prefix>.n<node_id>.{nt,tt,cat}``.
+        and per node ``<prefix>.n<node_id>.{nt,tt,cat}``.  Returns the
+        names of the relations created, so callers staging a crash-safe
+        publish know exactly which files to checksum and promote.
         """
+        created: list[str] = []
         y = self.schema.n_aggregates
         agg_columns = tuple(
             Column(f"aggr_{i}", ColumnType.INT64) for i in range(y)
@@ -289,8 +292,11 @@ class CubeStorage:
                     schema = TableSchema(dim_columns + agg_columns)
                 else:
                     schema = TableSchema((rowid_column,) + agg_columns)
-                heap = catalog.create(f"{prefix}.n{node_id}.nt", schema)
+                name = f"{prefix}.n{node_id}.nt"
+                heap = catalog.create(name, schema)
                 heap.append_many(store.nt_rows)
+                heap.flush()
+                created.append(name)
             # Bitmaps (a CURE+ in-memory representation) are materialized
             # back to their ascending row-id lists on disk; the
             # ``plus_processed`` flag in the metadata preserves the sorted
@@ -301,10 +307,11 @@ class CubeStorage:
                 else store.tt_rowids
             )
             if tt_rowids:
-                heap = catalog.create(
-                    f"{prefix}.n{node_id}.tt", TableSchema((rowid_column,))
-                )
+                name = f"{prefix}.n{node_id}.tt"
+                heap = catalog.create(name, TableSchema((rowid_column,)))
                 heap.append_many((rowid,) for rowid in tt_rowids)
+                heap.flush()
+                created.append(name)
             cat_rows = (
                 [(arowid,) for arowid in store.cat_bitmap.iter_set()]
                 if store.cat_bitmap is not None
@@ -315,15 +322,21 @@ class CubeStorage:
                     schema = TableSchema((arowid_column,))
                 else:
                     schema = TableSchema((rowid_column, arowid_column))
-                heap = catalog.create(f"{prefix}.n{node_id}.cat", schema)
+                name = f"{prefix}.n{node_id}.cat"
+                heap = catalog.create(name, schema)
                 heap.append_many(cat_rows)
+                heap.flush()
+                created.append(name)
         if self.aggregates_rows:
             if self.cat_format is CatFormat.COMMON_SOURCE:
                 schema = TableSchema((rowid_column,) + agg_columns)
             else:
                 schema = TableSchema(agg_columns)
-            heap = catalog.create(f"{prefix}.aggregates", schema)
+            name = f"{prefix}.aggregates"
+            heap = catalog.create(name, schema)
             heap.append_many(self.aggregates_rows)
+            heap.flush()
+            created.append(name)
         meta = {
             "cat_format": self.cat_format.value if self.cat_format else None,
             "dr_mode": self.dr_mode,
@@ -334,7 +347,10 @@ class CubeStorage:
             "fact_row_count": self.fact_row_count,
             "node_ids": sorted(self.nodes),
         }
-        (catalog.root / f"{prefix}.meta.json").write_text(json.dumps(meta))
+        atomic_write_text(
+            catalog.root / f"{prefix}.meta.json", json.dumps(meta)
+        )
+        return created
 
     @classmethod
     def load(

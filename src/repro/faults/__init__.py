@@ -1,0 +1,30 @@
+"""Deterministic fault injection for crash-safety testing.
+
+The harness sits behind the :class:`repro.relational.durable.FaultHook`
+protocol: :meth:`Engine.install_faults` threads one
+:class:`~repro.faults.injector.FaultInjector` through the catalog, every
+heap file, and the memory manager, and from then on each durability-
+relevant operation announces itself at a named *site*
+(``heap.write:fact.part0``, ``catalog.publish:…``, ``memory.reserve:…``).
+The injector decides — deterministically, from its plan — whether that
+site passes, raises a transient error, tears a write, shocks the memory
+budget, or crashes the "process".
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    crash_plan,
+    seeded_crash_indices,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "crash_plan",
+    "seeded_crash_indices",
+]

@@ -1,7 +1,7 @@
-"""The cubelint rule catalogue (R1–R8).
+"""The cubelint rule catalogue (R1–R9).
 
 Each rule protects either a structural invariant of the CURE engine
-(R1–R3, R6, R7 — see the paper-section references in
+(R1–R3, R6, R7, R9 — see the paper-section references in
 ``docs/static_analysis.md``) or a hygiene property that keeps the
 codebase honest as it grows (R4, R5, R8).
 
@@ -387,6 +387,84 @@ class UntypedPublicFunction(Rule):
                 )
 
 
+class RawDurabilityPrimitive(Rule):
+    """R9: raw write/rename primitives stay inside ``relational/`` and ``faults/``.
+
+    Crash safety rests on every on-disk mutation flowing through the
+    audited helpers in ``repro.relational.durable`` (write-tmp + fsync +
+    rename, checksums, injection points).  A stray ``open(..., "w")`` or
+    ``os.replace`` elsewhere writes bytes the fault injector never sees
+    and the recovery manifest never covers — a silent hole in the crash
+    model.  Reading is fine; only write-capable primitives are banned.
+    """
+
+    rule_id = "R9"
+    title = "no raw write/rename primitives outside relational/ and faults/"
+    hint = (
+        "use repro.relational.durable.atomic_write_text/atomic_write_bytes "
+        "(or Catalog/HeapFile APIs); raw writes bypass fsync, checksums, "
+        "and fault injection"
+    )
+    not_in = frozenset({"relational", "faults"})
+
+    _BANNED_CALLS = ("os.replace", "os.rename", "os.fdopen")
+    _BANNED_METHODS = frozenset({"write_text", "write_bytes"})
+    _WRITE_MODE_CHARS = frozenset("wax+")
+
+    def _open_mode(self, node: ast.Call) -> ast.expr | None:
+        if len(node.args) >= 2:
+            return node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                return keyword.value
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolved_call_name(node.func, ctx.imports)
+            if dotted is not None:
+                if dotted == "open":
+                    mode = self._open_mode(node)
+                    if mode is None:
+                        continue  # default mode "r" is read-only
+                    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+                        if not self._WRITE_MODE_CHARS & set(mode.value):
+                            continue
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"raw `open(..., {mode.value!r})` outside relational/",
+                        )
+                    else:
+                        yield self.violation(
+                            ctx, node, "`open` with non-literal mode (cannot prove read-only)"
+                        )
+                    continue
+                for banned in self._BANNED_CALLS:
+                    if _matches(dotted, banned):
+                        yield self.violation(
+                            ctx, node, f"raw rename/write primitive `{banned}`"
+                        )
+                        break
+                else:
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr in self._BANNED_METHODS
+                    ):
+                        yield self.violation(
+                            ctx, node, f"raw `.{node.func.attr}(...)` write"
+                        )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._BANNED_METHODS
+            ):
+                yield self.violation(
+                    ctx, node, f"raw `.{node.func.attr}(...)` write"
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     HeapAccessOutsideRelational(),
     MaterializedPlanInHotPath(),
@@ -396,6 +474,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ImplicitNumpyDtype(),
     AssertForValidation(),
     UntypedPublicFunction(),
+    RawDurabilityPrimitive(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -15,6 +15,14 @@ import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.relational.durable import (
+    FaultHook,
+    atomic_write_text,
+    file_checksum,
+    maybe_fire,
+    publish_file,
+    remove_file,
+)
 from repro.relational.heap import HeapFile
 from repro.relational.schema import Column, ColumnType, TableSchema
 
@@ -42,6 +50,7 @@ class Catalog:
     """Named heap-file relations rooted at one directory."""
 
     root: Path
+    faults: FaultHook | None = field(default=None, repr=False)
     _open: dict[str, HeapFile] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -68,8 +77,11 @@ class Catalog:
         self._check_name(name)
         if self.exists(name):
             raise ValueError(f"relation {name!r} already exists")
-        self._meta_path(name).write_text(json.dumps(_schema_to_json(schema)))
-        heap = HeapFile(self._data_path(name), schema)
+        maybe_fire(self.faults, f"catalog.create:{name}")
+        atomic_write_text(
+            self._meta_path(name), json.dumps(_schema_to_json(schema))
+        )
+        heap = HeapFile(self._data_path(name), schema, faults=self.faults)
         self._open[name] = heap
         return heap
 
@@ -81,7 +93,7 @@ class Catalog:
         if not meta_path.exists():
             raise KeyError(f"no relation named {name!r} in {self.root}")
         schema = _schema_from_json(json.loads(meta_path.read_text()))
-        heap = HeapFile(self._data_path(name), schema)
+        heap = HeapFile(self._data_path(name), schema, faults=self.faults)
         self._open[name] = heap
         return heap
 
@@ -90,11 +102,48 @@ class Catalog:
 
     def drop(self, name: str) -> None:
         """Remove a relation's data and metadata."""
+        maybe_fire(self.faults, f"catalog.drop:{name}")
         heap = self._open.pop(name, None)
         if heap is not None:
             heap.close()
-        self._meta_path(name).unlink(missing_ok=True)
-        self._data_path(name).unlink(missing_ok=True)
+        remove_file(self._meta_path(name))
+        remove_file(self._data_path(name))
+
+    def publish(self, tmp_name: str, final_name: str) -> None:
+        """Atomically promote relation ``tmp_name`` to ``final_name``.
+
+        Data is renamed before metadata so the relation "exists" (its
+        schema side file is in place) only once its data file is already
+        durable; a crash between the two renames leaves ``final_name``
+        either fully absent or fully present at the next :meth:`exists`
+        check, never half-published.
+        """
+        self._check_name(final_name)
+        if not self.exists(tmp_name):
+            raise KeyError(f"no relation named {tmp_name!r} to publish")
+        maybe_fire(self.faults, f"catalog.publish:{final_name}")
+        for name in (tmp_name, final_name):
+            heap = self._open.pop(name, None)
+            if heap is not None:
+                heap.close()
+        source_data = self._data_path(tmp_name)
+        if source_data.exists():
+            publish_file(source_data, self._data_path(final_name))
+        else:  # a zero-row relation never materialized its data file
+            remove_file(self._data_path(final_name))
+        publish_file(self._meta_path(tmp_name), self._meta_path(final_name))
+
+    def checksum(self, name: str) -> str:
+        """Checksum of a relation's data file (flushes pending writes)."""
+        if name in self._open:
+            self._open[name].flush()
+        return file_checksum(self._data_path(name))
+
+    def set_faults(self, faults: FaultHook | None) -> None:
+        """Install (or clear) a fault hook, including on open heaps."""
+        self.faults = faults
+        for heap in self._open.values():
+            heap.faults = faults
 
     def names(self) -> list[str]:
         """All relation names, sorted."""

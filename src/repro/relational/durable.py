@@ -1,0 +1,200 @@
+"""Audited durability primitives: atomic publishes, checksums, retries.
+
+Crash safety in this substrate rests on three small, auditable moves, all
+of which live in this module (cubelint rule R9 bans the raw primitives —
+``open`` for writing, ``os.replace`` — everywhere outside ``relational/``
+and ``faults/``):
+
+* **atomic publish** — data is written to a temporary sibling, flushed,
+  ``fsync``'d, and renamed over the final name, so any observer sees
+  either the complete old file or the complete new file, never a torn
+  one;
+* **checksums** — every committed artifact is fingerprinted so a resumed
+  build can *verify* rather than trust what a crashed predecessor left
+  behind;
+* **bounded retries** — transient I/O failures are retried with
+  exponential backoff instead of aborting a multi-partition build.
+
+The module also defines the fault-injection *protocol*: the relational
+layer calls :func:`maybe_fire` at its injection points and the concrete
+injector (:mod:`repro.faults`) decides whether to raise.  Keeping the
+protocol here and the injector in its own package avoids an import cycle
+and keeps ``relational/`` free of test-harness code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, TypeVar
+
+_T = TypeVar("_T")
+
+_CHUNK_BYTES = 1 << 20
+
+
+class TransientIOError(OSError):
+    """An I/O failure worth retrying (environmental or injected)."""
+
+
+class InjectedCrash(RuntimeError):
+    """Simulated process death at an injection point.
+
+    Build code must never catch this: the fault harness uses it to model
+    ``kill -9`` at an arbitrary instruction boundary, so anything that
+    swallows it would be hiding exactly the window crash-safety tests are
+    probing.
+    """
+
+
+class TornWrite(Exception):
+    """Protocol exception: the active fault demands a partial write.
+
+    Raised by a fault hook at a ``heap.write`` site; the writer responds
+    by persisting only a prefix of its payload and then re-raising
+    :class:`InjectedCrash`, modelling a power loss mid-``write(2)``.
+    """
+
+    def __init__(self, keep_fraction: float = 0.5) -> None:
+        super().__init__(f"torn write (keep {keep_fraction:.0%})")
+        self.keep_fraction = keep_fraction
+
+    def keep_bytes(self, total: int) -> int:
+        kept = int(total * self.keep_fraction)
+        return max(0, min(total - 1, kept)) if total else 0
+
+
+class FaultHook(Protocol):
+    """What the relational layer needs from a fault injector."""
+
+    def fire(self, site: str) -> None: ...
+
+
+def maybe_fire(hook: FaultHook | None, site: str) -> None:
+    """Fire one injection point if a hook is installed (else free)."""
+    if hook is not None:
+        hook.fire(site)
+
+
+# -- checksums -----------------------------------------------------------------
+
+
+def file_checksum(path: str | Path) -> str:
+    """SHA-256 of a file's bytes; a missing file hashes as empty."""
+    digest = hashlib.sha256()
+    target = Path(path)
+    if target.exists():
+        with open(target, "rb") as handle:
+            while True:
+                block = handle.read(_CHUNK_BYTES)
+                if not block:
+                    break
+                digest.update(block)
+    return digest.hexdigest()
+
+
+def text_checksum(text: str) -> str:
+    """SHA-256 of a string (for manifests checked before they hit disk)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- atomic writes -------------------------------------------------------------
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Flush a directory's entry table (best effort across platforms)."""
+    try:
+        fd = os.open(Path(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write-tmp + flush + fsync + rename: never observable half-written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".wip")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_directory(target.parent)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """UTF-8 variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def publish_file(tmp_path: str | Path, final_path: str | Path) -> None:
+    """Durably promote an already-written file to its final name.
+
+    The source is fsync'd first so the rename never publishes bytes that
+    only existed in the page cache, then renamed (atomic within a file
+    system), then the directory entry is flushed.
+    """
+    source = Path(tmp_path)
+    with open(source, "rb") as handle:
+        os.fsync(handle.fileno())
+    os.replace(source, final_path)
+    fsync_directory(Path(final_path).parent)
+
+
+def remove_file(path: str | Path) -> None:
+    """Audited unlink (missing files are fine)."""
+    Path(path).unlink(missing_ok=True)
+
+
+# -- bounded retries -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for :class:`TransientIOError`."""
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.002
+    max_delay_seconds: float = 0.05
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        return min(
+            self.base_delay_seconds * (2**attempt), self.max_delay_seconds
+        )
+
+
+def with_retries(
+    operation: Callable[[], _T],
+    policy: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, TransientIOError], None] | None = None,
+) -> _T:
+    """Run ``operation``, retrying transient I/O errors under ``policy``.
+
+    Only :class:`TransientIOError` is retried; every other exception —
+    including :class:`InjectedCrash` — propagates immediately.  ``sleep``
+    is injectable so tests stay instantaneous.
+    """
+    active = policy if policy is not None else RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except TransientIOError as error:
+            attempt += 1
+            if attempt >= active.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(active.delay(attempt - 1))

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.relational.catalog import Catalog
+from repro.relational.durable import FaultHook, RetryPolicy, with_retries
 from repro.relational.heap import HeapFile
 from repro.relational.memory import MemoryManager
 from repro.relational.schema import TableSchema
@@ -50,6 +51,7 @@ class Engine:
 
     catalog: Catalog
     memory: MemoryManager = field(default_factory=MemoryManager)
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     @classmethod
     def temporary(cls, memory_budget_bytes: int | None = None) -> "Engine":
@@ -77,10 +79,27 @@ class Engine:
         return self.memory.fits(self.relation(name).size_bytes)
 
     def load(self, name: str) -> LoadedTable:
-        """Load a relation fully into memory under a budget reservation."""
+        """Load a relation fully into memory under a budget reservation.
+
+        Transient I/O errors are retried with bounded backoff
+        (``retry_policy``) — a whole-file read is idempotent.  If the read
+        still fails (I/O error, injected fault) the reservation is
+        released before the exception propagates, so a failed load never
+        leaks simulated memory.
+        """
         heap = self.relation(name)
         token = self.memory.reserve(heap.size_bytes, what=f"load({name})")
-        return LoadedTable(heap.load(), self.memory, token)
+        try:
+            table = with_retries(heap.load, policy=self.retry_policy)
+        except BaseException:
+            self.memory.release(token)
+            raise
+        return LoadedTable(table, self.memory, token)
+
+    def install_faults(self, faults: FaultHook | None) -> None:
+        """Install (or clear) a fault-injection hook across the engine."""
+        self.catalog.set_faults(faults)
+        self.memory.faults = faults
 
     def close(self) -> None:
         self.catalog.close()

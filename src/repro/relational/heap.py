@@ -23,6 +23,12 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.relational.durable import (
+    FaultHook,
+    InjectedCrash,
+    TornWrite,
+    with_retries,
+)
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
 
@@ -54,6 +60,7 @@ class HeapFile:
     path: Path
     schema: TableSchema
     stats: HeapStats = field(default_factory=HeapStats)
+    faults: FaultHook | None = field(default=None, repr=False)
     _handle: object | None = field(default=None, repr=False)
     _row_count: int | None = field(default=None, repr=False)
 
@@ -72,7 +79,21 @@ class HeapFile:
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
+            handle, self._handle = self._handle, None
+            handle.close()
+
+    def _abort_write(self) -> None:
+        """Error-path cleanup: drop the cached row count and the handle.
+
+        After a failed (possibly partial) write the cached ``_row_count``
+        no longer matches the file, so it is invalidated and re-derived
+        from the on-disk size at the next access; closing the handle
+        flushes whatever was buffered so that size is well defined.
+        """
+        self._row_count = None
+        try:
+            self.close()
+        except OSError:
             self._handle = None
 
     def __enter__(self) -> "HeapFile":
@@ -101,12 +122,48 @@ class HeapFile:
 
     # -- writing -----------------------------------------------------------
 
+    def _fire_retrying(self, site: str) -> None:
+        """Announce an injection point, absorbing transient faults.
+
+        Transient I/O errors at a site that has not moved data yet are
+        retried with bounded backoff; anything else propagates.
+        """
+        faults = self.faults
+        if faults is not None:
+            with_retries(lambda: faults.fire(site))
+
+    def _write_burst(self, handle, payload: bytes) -> None:
+        """One buffered write, routed through the fault hook.
+
+        A :class:`TornWrite` fault persists only a prefix of the payload
+        (a power loss mid-``write``), then escalates to
+        :class:`InjectedCrash`; the caller's error path re-derives the row
+        count from the on-disk size.  Transient faults are retried — the
+        payload has not reached the file yet, so the retry is idempotent.
+        """
+        faults = self.faults
+        if faults is not None:
+            try:
+                with_retries(
+                    lambda: faults.fire(f"heap.write:{self.path.name}")
+                )
+            except TornWrite as torn:
+                handle.write(payload[: torn.keep_bytes(len(payload))])
+                raise InjectedCrash(
+                    f"torn write in {self.path.name}"
+                ) from torn
+        handle.write(payload)
+
     def append(self, row: tuple) -> int:
         """Append one record; returns its row-id."""
         rowid = len(self)
         handle = self._file()
-        handle.seek(0, os.SEEK_END)
-        handle.write(self._struct.pack(*row))
+        try:
+            handle.seek(0, os.SEEK_END)
+            self._write_burst(handle, self._struct.pack(*row))
+        except Exception:
+            self._abort_write()
+            raise
         self.stats.rows_written += 1
         self._row_count = rowid + 1
         return rowid
@@ -118,24 +175,32 @@ class HeapFile:
         # afterwards.
         current = len(self)
         handle = self._file()
-        handle.seek(0, os.SEEK_END)
         pack = self._struct.pack
         written = 0
         buffer: list[bytes] = []
-        for row in rows:
-            buffer.append(pack(*row))
-            written += 1
-            if len(buffer) >= 4096:
-                handle.write(b"".join(buffer))
-                buffer.clear()
-        if buffer:
-            handle.write(b"".join(buffer))
+        try:
+            handle.seek(0, os.SEEK_END)
+            for row in rows:
+                buffer.append(pack(*row))
+                written += 1
+                if len(buffer) >= 4096:
+                    self._write_burst(handle, b"".join(buffer))
+                    buffer.clear()
+            if buffer:
+                self._write_burst(handle, b"".join(buffer))
+        except Exception:
+            # Close-on-exception: a partial burst may have reached the
+            # file, so the cached count is stale and the handle's buffer
+            # must be flushed out before anyone re-reads the size.
+            self._abort_write()
+            raise
         self.stats.rows_written += written
         self._row_count = current + written
         return written
 
     def flush(self) -> None:
         if self._handle is not None:
+            self._fire_retrying(f"heap.flush:{self.path.name}")
             self._handle.flush()
 
     # -- reading -----------------------------------------------------------
@@ -197,6 +262,7 @@ class HeapFile:
 
     def scan(self) -> Iterator[tuple]:
         """Sequential scan of every record."""
+        self._fire_retrying(f"heap.read:{self.path.name}")
         handle = self._file()
         handle.seek(0)
         self.stats.sequential_passes += 1

@@ -12,7 +12,11 @@ Figure 13 in the paper.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.relational.durable import FaultHook, maybe_fire
 
 
 class MemoryBudgetExceeded(RuntimeError):
@@ -31,6 +35,7 @@ class MemoryManager:
     budget_bytes: int | None = None
     used_bytes: int = 0
     peak_bytes: int = 0
+    faults: FaultHook | None = field(default=None, repr=False)
     _reservations: dict[int, int] = field(default_factory=dict, repr=False)
     _next_token: int = 0
 
@@ -45,6 +50,10 @@ class MemoryManager:
 
         Raises :class:`MemoryBudgetExceeded` if the claim does not fit.
         """
+        # A memory-shock fault fires here: the injector raises
+        # MemoryBudgetExceeded for a reservation that would have fit,
+        # modelling an estimate that under-provisioned the real load.
+        maybe_fire(self.faults, f"memory.reserve:{what or 'load'}")
         if not self.fits(size_bytes):
             raise MemoryBudgetExceeded(
                 f"cannot reserve {size_bytes} bytes for {what or 'load'}: "
@@ -65,6 +74,20 @@ class MemoryManager:
     def release_all(self) -> None:
         self._reservations.clear()
         self.used_bytes = 0
+
+    @contextmanager
+    def reservation(self, size_bytes: int, what: str = "") -> Iterator[int]:
+        """Reserve for the dynamic extent of a block, releasing on any exit.
+
+        The try/finally guarantees a load that fails partway (I/O error,
+        injected crash) returns its claim to the pool instead of leaking
+        budget for the rest of the build.
+        """
+        token = self.reserve(size_bytes, what)
+        try:
+            yield token
+        finally:
+            self.release(token)
 
     @property
     def free_bytes(self) -> int | None:

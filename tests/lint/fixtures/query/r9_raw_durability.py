@@ -1,0 +1,20 @@
+"""R9 fixture: raw durability primitives in a query-layer module."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def spill(path: Path, text: str, mode: str) -> None:
+    with open(path, "w") as handle:  # line 10: write-mode open
+        handle.write(text)
+    with open(path, mode):  # line 12: non-literal mode
+        pass
+    os.replace(path, path.with_suffix(".bak"))  # line 14: raw rename
+    path.write_text(text)  # line 15: raw Path write
+
+
+def load(path: Path) -> str:
+    with open(path) as handle:  # read-only open is fine
+        return handle.read()

@@ -21,6 +21,7 @@ EXPECTED = {
     "core/r6_implicit_dtype.py": [("R6", 9)],
     "relational/r7_assert_validation.py": [("R7", 7)],
     "lattice/r8_untyped_public.py": [("R8", 6)],
+    "query/r9_raw_durability.py": [("R9", 10), ("R9", 12), ("R9", 14), ("R9", 15)],
     "anywhere/clean.py": [],
 }
 
@@ -38,7 +39,7 @@ def test_every_rule_is_covered_by_a_fixture() -> None:
 
 
 def test_rule_catalogue_shape() -> None:
-    assert len(ALL_RULES) == 8
+    assert len(ALL_RULES) == 9
     for rule in ALL_RULES:
         assert rule.rule_id.startswith("R")
         assert rule.hint and rule.title
