@@ -1,0 +1,204 @@
+"""Row vs. columnar query execution over a generated cube.
+
+Times the two execution paths the operator/query refactor left side by
+side — the reference tuple-at-a-time path (``Operator.rows()``,
+``set_batch_execution(False)``) against the vectorized ColumnBatch path
+(``Operator.batches()``, the default) — on a ~100k-row fact table:
+
+* ``HashAggregate`` over the raw fact table (group by two dimension
+  columns, sum + count of the measure), and
+* sliced node answering over the built CURE cube, both post-filtered
+  and index-pre-filtered, plus plain node answering.
+
+``python benchmarks/bench_query.py`` regenerates ``BENCH_query.json``
+at the repo root (the checked-in record the README quotes); the pytest
+entry point asserts the ≥5× speedups CI relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro import (
+    CubeSchema,
+    Table,
+    build_cube,
+    flat_dimension,
+    linear_dimension,
+    make_aggregates,
+)
+from repro.lattice.node import CubeNode
+from repro.query import (
+    DimensionSlice,
+    FactCache,
+    answer_cure_query,
+    answer_cure_sliced,
+    set_batch_execution,
+)
+from repro.query.planner import build_indices
+from repro.relational.operators import HashAggregate, TableScan
+
+DEFAULT_ROWS = 100_000
+SEED = 7
+REPEATS = 3
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_query.json"
+
+
+def _schema() -> CubeSchema:
+    """Wide-ish dimensions so the base node holds tens of thousands of
+    tuples — vectorization has something to chew on."""
+    a = linear_dimension("A", [("A0", 50), ("A1", 10)])
+    b = linear_dimension("B", [("B0", 40), ("B1", 8)])
+    c = flat_dimension("C", 20)
+    return CubeSchema(
+        (a, b, c), make_aggregates(("sum", 0), ("count", 0)), n_measures=1
+    )
+
+
+def _table(schema: CubeSchema, n_rows: int) -> Table:
+    import random
+
+    rng = random.Random(SEED)
+    rows = [
+        (rng.randrange(50), rng.randrange(40), rng.randrange(20),
+         rng.randrange(100))
+        for _ in range(n_rows)
+    ]
+    return Table(schema.fact_schema, rows)
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (min beats mean for
+    cold-cache noise on shared CI runners)."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return min(samples)
+
+
+def _timed_pair(row_fn, batch_fn, repeats: int = REPEATS) -> dict:
+    row_s = _best_of(repeats, row_fn)
+    batch_s = _best_of(repeats, batch_fn)
+    return {
+        "row_ms": round(row_s * 1e3, 3),
+        "batch_ms": round(batch_s * 1e3, 3),
+        "speedup": round(row_s / batch_s, 2) if batch_s else float("inf"),
+    }
+
+
+def bench_hash_aggregate(table: Table) -> dict:
+    group_by = ["d_A", "d_B"]
+    aggregates = [("sum", "m_0"), ("count", "m_0")]
+
+    def plan() -> HashAggregate:
+        return HashAggregate(TableScan(table), group_by, aggregates)
+
+    reference = sorted(plan().rows())
+    assert sorted(plan()) == reference  # equivalence before timing
+    return _timed_pair(
+        lambda: list(plan().rows()),
+        lambda: list(plan()),
+    )
+
+
+def _in_mode(enabled: bool, fn):
+    def run():
+        previous = set_batch_execution(enabled)
+        try:
+            return fn()
+        finally:
+            set_batch_execution(previous)
+
+    return run
+
+
+def bench_queries(schema: CubeSchema, table: Table) -> dict:
+    storage = build_cube(schema, table=table).storage
+    cache = FactCache(schema, table=table)
+    indices = build_indices(schema, table.rows)
+    node = CubeNode((0, 0, 0))
+    slices = [DimensionSlice.of(0, 1, {0, 1})]
+
+    cases = {
+        "node_answer": lambda: answer_cure_query(storage, cache, node),
+        "slice_postfiltered": lambda: answer_cure_sliced(
+            storage, cache, node, slices, None
+        ),
+        "slice_prefiltered": lambda: answer_cure_sliced(
+            storage, cache, node, slices, indices
+        ),
+    }
+    results = {}
+    for name, fn in cases.items():
+        row_fn, batch_fn = _in_mode(False, fn), _in_mode(True, fn)
+        assert sorted(row_fn()) == sorted(batch_fn())
+        results[name] = _timed_pair(row_fn, batch_fn)
+    return results
+
+
+def run(n_rows: int = DEFAULT_ROWS) -> dict:
+    schema = _schema()
+    table = _table(schema, n_rows)
+    results = {
+        "n_rows": n_rows,
+        "seed": SEED,
+        "repeats": REPEATS,
+        "hash_aggregate": bench_hash_aggregate(table),
+    }
+    results.update(bench_queries(schema, table))
+    return results
+
+
+def test_columnar_speedups():
+    """CI acceptance: ≥5× on HashAggregate and on slice answering."""
+    results = run()
+    assert results["hash_aggregate"]["speedup"] >= 5.0, results
+    slice_speedups = [
+        results["slice_postfiltered"]["speedup"],
+        results["slice_prefiltered"]["speedup"],
+    ]
+    assert max(slice_speedups) >= 5.0, results
+    assert statistics.fmean(slice_speedups) > 1.0, results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time row vs. columnar query execution."
+    )
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument(
+        "--output", type=Path, default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the ≥5x speedup targets hold",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.rows)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    if args.check:
+        if results["hash_aggregate"]["speedup"] < 5.0:
+            print("FAIL: hash_aggregate speedup below 5x", file=sys.stderr)
+            return 1
+        if max(
+            results["slice_postfiltered"]["speedup"],
+            results["slice_prefiltered"]["speedup"],
+        ) < 5.0:
+            print("FAIL: slice answering speedup below 5x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,7 @@ def apply_delta(
     # :func:`repro.core.postprocess.postprocess_plus` afterwards to
     # restore it).
     for store in storage.nodes.values():
+        store.invalidate_matrices()
         if store.tt_bitmap is not None:
             store.tt_rowids = list(store.tt_bitmap.iter_set())
             store.tt_bitmap = None
@@ -260,6 +261,7 @@ class _Merger:
                 else:
                     kept.append(rowid)
             store.tt_rowids = kept
+            store.invalidate_matrices()
 
     def _replace_tt(self, node: CubeNode, node_id: int, rowid: int) -> None:
         """Re-place a devalued TT over its plan sub-tree.

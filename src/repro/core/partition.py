@@ -640,11 +640,14 @@ def partition_relation_pair(
     schema: CubeSchema,
     decision: PairPartitionDecision,
     stats: PartitionStats | None = None,
+    name_suffix: str = "",
 ) -> tuple[list[str], str, str]:
     """One pass: route tuples by (A_L, B_M) pair and build N1 and N2.
 
     Returns partition names plus the names of the two persisted coarse
-    nodes (``<relation>.coarseN1`` / ``.coarseN2``).
+    nodes (``<relation>.coarseN1`` / ``.coarseN2``).  ``name_suffix``
+    lets crash-safe builds write to staging names that are atomically
+    published once the pass completes (see :func:`partition_relation`).
     """
     heap = engine.relation(relation)
     dim0, dim1 = schema.dimensions[0], schema.dimensions[1]
@@ -672,7 +675,7 @@ def partition_relation_pair(
             assignment[key] = len(bins) - 1
     n_bins = len(bins)
 
-    names = [f"{relation}.pairpart{i}" for i in range(n_bins)]
+    names = [f"{relation}.pairpart{i}{name_suffix}" for i in range(n_bins)]
     for name in names:
         if engine.catalog.exists(name):
             engine.catalog.drop(name)
@@ -745,8 +748,12 @@ def partition_relation_pair(
         stats.fact_write_passes += 1
         stats.partitions_created = n_bins
 
-    name1 = _persist_pair_coarse(engine, relation, schema, coarse1, "coarseN1", rep_dim=0)
-    name2 = _persist_pair_coarse(engine, relation, schema, coarse2, "coarseN2", rep_dim=1)
+    name1 = _persist_pair_coarse(
+        engine, relation, schema, coarse1, "coarseN1" + name_suffix, rep_dim=0
+    )
+    name2 = _persist_pair_coarse(
+        engine, relation, schema, coarse2, "coarseN2" + name_suffix, rep_dim=1
+    )
     return names, name1, name2
 
 

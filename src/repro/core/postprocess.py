@@ -44,6 +44,9 @@ def postprocess_plus(
     aggregates_universe = len(storage.aggregates_rows)
     cat_format_a = storage.cat_format is CatFormat.COMMON_SOURCE
     for store in storage.nodes.values():
+        # Sorting and bitmap conversion rewrite relations in place,
+        # sometimes without changing their length.
+        store.invalidate_matrices()
         if store.tt_rowids:
             store.tt_rowids.sort()
             report.tt_lists_sorted += 1

@@ -53,13 +53,17 @@ from repro.core.cure import (
 )
 from repro.core.model import CubeSchema
 from repro.core.partition import (
+    PairPartitionDecision,
     PartitionDecision,
     load_coarse_working_set,
     partition_relation,
+    partition_relation_pair,
     select_partition_level,
+    select_partition_pair,
 )
 from repro.core.signature import PoolStats, SignaturePool
 from repro.core.storage import CubeStorage
+from repro.core.workingset import WorkingSet
 from repro.relational.catalog import Catalog
 from repro.relational.durable import (
     atomic_write_text,
@@ -68,6 +72,7 @@ from repro.relational.durable import (
     text_checksum,
 )
 from repro.relational.engine import Engine
+from repro.relational.memory import MemoryBudgetExceeded
 from repro.relational.sortops import SortStats
 
 MANIFEST_VERSION = 1
@@ -109,9 +114,12 @@ class BuildManifest:
     options: dict[str, Any] = field(default_factory=dict)
     fact_checksum: str = ""
     fact_rows: int = 0
+    partition_mode: str = "single"
     partition_level: int | None = None
+    partition_level2: int | None = None
     partitions: list[dict[str, Any]] = field(default_factory=list)
     coarse: dict[str, Any] | None = None
+    coarse2: dict[str, Any] | None = None
     completed_partitions: int = 0
     checkpoint: dict[str, Any] | None = None
     final: dict[str, Any] | None = None
@@ -297,6 +305,7 @@ class DurableCubeBuild:
             else:
                 storage = CubeStorage(self.schema, dr_mode=self.dr_mode)
                 storage.partition_level = level
+                storage.partition_level2 = manifest.partition_level2
                 stats = _stats_from_json(manifest.stats or {})
                 completed = 0
                 manifest.checkpoint = None
@@ -321,16 +330,25 @@ class DurableCubeBuild:
             if completed == 0:
                 stats.fact_read_passes += 1  # the partitions re-read R once
 
+            pair_mode = manifest.partition_mode == "pair"
+            level2 = int(manifest.partition_level2 or 0)
             index = completed
             while index < len(partition_names):
-                process_partition(
-                    builder,
-                    engine,
-                    self.schema,
-                    partition_names[index],
-                    level,
-                    self.min_count,
-                )
+                if pair_mode:
+                    with engine.load(partition_names[index]) as loaded:
+                        working = WorkingSet.from_partition_table(
+                            self.schema, loaded
+                        )
+                        builder.run_partition_pair(working, level, level2)
+                else:
+                    process_partition(
+                        builder,
+                        engine,
+                        self.schema,
+                        partition_names[index],
+                        level,
+                        self.min_count,
+                    )
                 index += 1
                 # Barrier: with the pool empty, the in-memory storage is
                 # the complete build state — and the barrier is taken in
@@ -343,26 +361,33 @@ class DurableCubeBuild:
                 ):
                     self._write_checkpoint(manifest, storage, stats, index)
 
-            coarse = manifest.coarse or {}
-            base_levels = [0] * self.schema.n_dimensions
-            base_levels[0] = level + 1
-            coarse_shape = HierarchicalShape(self.schema, tuple(base_levels))
-            working, release_coarse = load_coarse_working_set(
-                engine, str(coarse["name"]), self.schema
-            )
-            try:
-                coarse_builder = CureBuilder(
-                    self.schema,
-                    storage,
-                    pool,
-                    coarse_shape,
-                    self.min_count,
-                    stats,
+            if pair_mode:
+                self._coarse_pair_phases(
+                    manifest, storage, pool, stats, level, level2
                 )
-                coarse_builder.run(working)
-                coarse_builder.finish()
-            finally:
-                release_coarse()
+            else:
+                coarse = manifest.coarse or {}
+                base_levels = [0] * self.schema.n_dimensions
+                base_levels[0] = level + 1
+                coarse_shape = HierarchicalShape(
+                    self.schema, tuple(base_levels)
+                )
+                working, release_coarse = load_coarse_working_set(
+                    engine, str(coarse["name"]), self.schema
+                )
+                try:
+                    coarse_builder = CureBuilder(
+                        self.schema,
+                        storage,
+                        pool,
+                        coarse_shape,
+                        self.min_count,
+                        stats,
+                    )
+                    coarse_builder.run(working)
+                    coarse_builder.finish()
+                finally:
+                    release_coarse()
         finally:
             engine.memory.release(pool_token)
 
@@ -373,14 +398,19 @@ class DurableCubeBuild:
 
     def _stage_partition(
         self, manifest: BuildManifest
-    ) -> tuple[PartitionDecision, int]:
+    ) -> tuple[PartitionDecision | PairPartitionDecision, int]:
         """Stage A: write partition files to staging names, publish, record."""
         engine = self.engine
         catalog = engine.catalog
         stats = BuildStats()
-        decision = select_partition_level(
-            engine, self.relation, self.schema, self.partition_strategy
-        )
+        try:
+            decision = select_partition_level(
+                engine, self.relation, self.schema, self.partition_strategy
+            )
+        except MemoryBudgetExceeded:
+            # No single level of dimension 0 works; partition on pairs of
+            # leading-dimension members, checkpointed the same way.
+            return self._stage_partition_pair(manifest, stats)
         staged_names, staged_coarse = partition_relation(
             engine,
             self.relation,
@@ -389,32 +419,60 @@ class DurableCubeBuild:
             stats,
             name_suffix=_STAGING_SUFFIX,
         )
-        entries: list[dict[str, Any]] = []
-        for staged in staged_names:
-            final = staged[: -len(_STAGING_SUFFIX)]
-            catalog.publish(staged, final)
-            entries.append(
-                {
-                    "name": final,
-                    "checksum": catalog.checksum(final),
-                    "rows": len(catalog.open(final)),
-                }
-            )
-        coarse_final = staged_coarse[: -len(_STAGING_SUFFIX)]
-        catalog.publish(staged_coarse, coarse_final)
-        manifest.partitions = entries
-        manifest.coarse = {
-            "name": coarse_final,
-            "checksum": catalog.checksum(coarse_final),
-            "rows": len(catalog.open(coarse_final)),
-        }
+        manifest.partitions = [
+            self._publish_staged(staged) for staged in staged_names
+        ]
+        manifest.coarse = self._publish_staged(staged_coarse)
+        manifest.coarse2 = None
+        manifest.partition_mode = "single"
         manifest.partition_level = decision.level
+        manifest.partition_level2 = None
         manifest.stage = STAGE_PARTITIONED
         manifest.completed_partitions = 0
         manifest.checkpoint = None
         manifest.stats = _stats_to_json(stats)
         manifest.save(self.manifest_path)
         return decision, decision.level
+
+    def _stage_partition_pair(
+        self, manifest: BuildManifest, stats: BuildStats
+    ) -> tuple[PairPartitionDecision, int]:
+        """Stage A for pair-partitioned builds: (A_L, B_M) sound partitions
+        plus the two coarse nodes N1/N2, staged and atomically published."""
+        decision = select_partition_pair(self.engine, self.relation, self.schema)
+        staged_names, staged_n1, staged_n2 = partition_relation_pair(
+            self.engine,
+            self.relation,
+            self.schema,
+            decision,
+            stats,
+            name_suffix=_STAGING_SUFFIX,
+        )
+        manifest.partitions = [
+            self._publish_staged(staged) for staged in staged_names
+        ]
+        manifest.coarse = self._publish_staged(staged_n1)
+        manifest.coarse2 = self._publish_staged(staged_n2)
+        manifest.partition_mode = "pair"
+        manifest.partition_level = decision.level0
+        manifest.partition_level2 = decision.level1
+        manifest.stage = STAGE_PARTITIONED
+        manifest.completed_partitions = 0
+        manifest.checkpoint = None
+        manifest.stats = _stats_to_json(stats)
+        manifest.save(self.manifest_path)
+        return decision, decision.level0
+
+    def _publish_staged(self, staged: str) -> dict[str, Any]:
+        """Promote one staged relation to its final name; record checksums."""
+        catalog = self.engine.catalog
+        final = staged[: -len(_STAGING_SUFFIX)]
+        catalog.publish(staged, final)
+        return {
+            "name": final,
+            "checksum": catalog.checksum(final),
+            "rows": len(catalog.open(final)),
+        }
 
     def _write_checkpoint(
         self,
@@ -502,8 +560,58 @@ class DurableCubeBuild:
         for entry in manifest.partitions:
             if catalog.exists(str(entry["name"])):
                 catalog.drop(str(entry["name"]))
-        if manifest.coarse and catalog.exists(str(manifest.coarse["name"])):
-            catalog.drop(str(manifest.coarse["name"]))
+        for coarse_entry in (manifest.coarse, manifest.coarse2):
+            if coarse_entry and catalog.exists(str(coarse_entry["name"])):
+                catalog.drop(str(coarse_entry["name"]))
+
+    def _coarse_pair_phases(
+        self,
+        manifest: BuildManifest,
+        storage: CubeStorage,
+        pool: SignaturePool,
+        stats: BuildStats,
+        level0: int,
+        level1: int,
+    ) -> None:
+        """Phases N1/N2 of a pair build (see ``_build_pair_partitioned``).
+
+        Both phases re-run in full on resume: the last partition
+        checkpoint precedes them, and the pool flush at that barrier makes
+        their classification windows identical across runs.
+        """
+        engine = self.engine
+        coarse1 = manifest.coarse or {}
+        coarse2 = manifest.coarse2 or {}
+
+        # Phase N1: dimension 0 at levels [L+1, ALL].
+        base_levels = [0] * self.schema.n_dimensions
+        base_levels[0] = level0 + 1
+        n1_shape = HierarchicalShape(self.schema, tuple(base_levels))
+        working, release = load_coarse_working_set(
+            engine, str(coarse1["name"]), self.schema
+        )
+        try:
+            CureBuilder(
+                self.schema, storage, pool, n1_shape, self.min_count, stats
+            ).run(working)
+        finally:
+            release()
+
+        # Phase N2: dimension 0 present at levels <= L, dimension 1 at
+        # levels [M+1, ALL].
+        base_levels = [0] * self.schema.n_dimensions
+        base_levels[1] = level1 + 1
+        n2_shape = HierarchicalShape(self.schema, tuple(base_levels))
+        working, release = load_coarse_working_set(
+            engine, str(coarse2["name"]), self.schema
+        )
+        try:
+            CureBuilder(
+                self.schema, storage, pool, n2_shape, self.min_count, stats
+            ).run_partition(working, level0)
+        finally:
+            release()
+        pool.flush()
 
     # -- verification helpers -----------------------------------------------
 
@@ -511,7 +619,11 @@ class DurableCubeBuild:
         catalog = self.engine.catalog
         if not manifest.partitions or manifest.coarse is None:
             return False
+        if manifest.partition_mode == "pair" and manifest.coarse2 is None:
+            return False
         entries = list(manifest.partitions) + [manifest.coarse]
+        if manifest.coarse2 is not None:
+            entries.append(manifest.coarse2)
         for entry in entries:
             name = str(entry["name"])
             if not catalog.exists(name):

@@ -35,8 +35,11 @@ import json
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.model import CubeSchema
 from repro.core.signature import FormatStatistics, Signature, SignatureRun
+from repro.relational.batch import ColumnBatch
 from repro.relational.bitmap import Bitmap
 from repro.relational.catalog import Catalog
 from repro.relational.durable import atomic_write_text
@@ -72,13 +75,60 @@ def choose_cat_format(
 
 @dataclass
 class NodeStore:
-    """The up-to-three relations of one cube node."""
+    """The up-to-three relations of one cube node.
+
+    The ``*_matrix``/``*_array`` accessors cache int64 views of the row
+    lists for the vectorized query paths.  Caches are keyed on list
+    length (the relations are append-only during construction); code
+    that replaces or reorders a relation in place without changing its
+    length — post-processing, incremental maintenance — must call
+    :meth:`invalidate_matrices`.
+    """
 
     nt_rows: list[tuple] = field(default_factory=list)
     tt_rowids: list[int] = field(default_factory=list)
     cat_rows: list[tuple] = field(default_factory=list)
     tt_bitmap: Bitmap | None = None
     cat_bitmap: Bitmap | None = None
+    _nt_matrix: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _tt_array: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _cat_matrix: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def nt_matrix(self) -> np.ndarray:
+        """``nt_rows`` as a cached int64 matrix (non-empty lists only)."""
+        cached = self._nt_matrix
+        if cached is None or len(cached) != len(self.nt_rows):
+            cached = np.asarray(self.nt_rows, dtype=np.int64)
+            self._nt_matrix = cached
+        return cached
+
+    def tt_array(self) -> np.ndarray:
+        """``tt_rowids`` as a cached int64 array."""
+        cached = self._tt_array
+        if cached is None or len(cached) != len(self.tt_rowids):
+            cached = np.asarray(self.tt_rowids, dtype=np.int64)
+            self._tt_array = cached
+        return cached
+
+    def cat_matrix(self) -> np.ndarray:
+        """``cat_rows`` as a cached int64 matrix (non-empty lists only)."""
+        cached = self._cat_matrix
+        if cached is None or len(cached) != len(self.cat_rows):
+            cached = np.asarray(self.cat_rows, dtype=np.int64)
+            self._cat_matrix = cached
+        return cached
+
+    def invalidate_matrices(self) -> None:
+        """Drop cached views after an in-place relation rewrite."""
+        self._nt_matrix = None
+        self._tt_array = None
+        self._cat_matrix = None
 
     @property
     def relation_count(self) -> int:
@@ -150,6 +200,9 @@ class CubeStorage:
     fact_row_count: int = 0
     row_resolver: Callable[[int], tuple[int, ...]] | None = None
     plus_processed: bool = False
+    _aggregates_matrix: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- node access ------------------------------------------------------------
 
@@ -217,6 +270,24 @@ class CubeStorage:
             self.node_store(signature.node_id).cat_rows.append(
                 (signature.rowid, arowid)
             )
+
+    def aggregates_matrix(self) -> np.ndarray:
+        """The AGGREGATES relation as a cached int64 matrix.
+
+        The vectorized query layer joins A-rowids against this with one
+        fancy-index.  The cache is keyed on the row count: construction
+        appends invalidate it, and post-build queries reuse one array.
+        """
+        cached = self._aggregates_matrix
+        if cached is not None and len(cached) == len(self.aggregates_rows):
+            return cached
+        if not self.aggregates_rows:
+            y = self.schema.n_aggregates
+            width = 1 + y if self.cat_format is CatFormat.COMMON_SOURCE else y
+            return np.empty((0, width), dtype=np.int64)
+        cached = np.asarray(self.aggregates_rows, dtype=np.int64)
+        self._aggregates_matrix = cached
+        return cached
 
     def _resolve_node_dims(self, node_id: int, rowid: int) -> tuple[int, ...]:
         if self.row_resolver is None:
@@ -294,7 +365,7 @@ class CubeStorage:
                     schema = TableSchema((rowid_column,) + agg_columns)
                 name = f"{prefix}.n{node_id}.nt"
                 heap = catalog.create(name, schema)
-                heap.append_many(store.nt_rows)
+                heap.append_batch(ColumnBatch.from_rows(schema, store.nt_rows))
                 heap.flush()
                 created.append(name)
             # Bitmaps (a CURE+ in-memory representation) are materialized
@@ -308,8 +379,13 @@ class CubeStorage:
             )
             if tt_rowids:
                 name = f"{prefix}.n{node_id}.tt"
-                heap = catalog.create(name, TableSchema((rowid_column,)))
-                heap.append_many((rowid,) for rowid in tt_rowids)
+                tt_schema = TableSchema((rowid_column,))
+                heap = catalog.create(name, tt_schema)
+                heap.append_batch(
+                    ColumnBatch.from_arrays(
+                        tt_schema, (np.asarray(tt_rowids, dtype=np.int64),)
+                    )
+                )
                 heap.flush()
                 created.append(name)
             cat_rows = (
@@ -324,7 +400,7 @@ class CubeStorage:
                     schema = TableSchema((rowid_column, arowid_column))
                 name = f"{prefix}.n{node_id}.cat"
                 heap = catalog.create(name, schema)
-                heap.append_many(cat_rows)
+                heap.append_batch(ColumnBatch.from_rows(schema, cat_rows))
                 heap.flush()
                 created.append(name)
         if self.aggregates_rows:
@@ -334,7 +410,9 @@ class CubeStorage:
                 schema = TableSchema(agg_columns)
             name = f"{prefix}.aggregates"
             heap = catalog.create(name, schema)
-            heap.append_many(self.aggregates_rows)
+            heap.append_batch(
+                ColumnBatch.from_rows(schema, self.aggregates_rows)
+            )
             heap.flush()
             created.append(name)
         meta = {
@@ -369,20 +447,23 @@ class CubeStorage:
         storage.plus_processed = meta.get("plus_processed", False)
         if meta["cat_format"] is not None:
             storage.cat_format = CatFormat(meta["cat_format"])
+        # Columnar reload: each relation is read through the zero-copy
+        # batch scan and transposed back to the row lists NodeStore keeps.
         for node_id in meta["node_ids"]:
             store = storage.node_store(node_id)
             nt_name = f"{prefix}.n{node_id}.nt"
             if catalog.exists(nt_name):
-                store.nt_rows = list(catalog.open(nt_name).scan())
+                store.nt_rows = catalog.open(nt_name).load_batch().to_rows()
             tt_name = f"{prefix}.n{node_id}.tt"
             if catalog.exists(tt_name):
-                store.tt_rowids = [row[0] for row in catalog.open(tt_name).scan()]
+                tt_batch = catalog.open(tt_name).load_batch()
+                store.tt_rowids = tt_batch.arrays[0].tolist()
             cat_name = f"{prefix}.n{node_id}.cat"
             if catalog.exists(cat_name):
-                store.cat_rows = list(catalog.open(cat_name).scan())
+                store.cat_rows = catalog.open(cat_name).load_batch().to_rows()
         agg_name = f"{prefix}.aggregates"
         if catalog.exists(agg_name):
-            storage.aggregates_rows = list(catalog.open(agg_name).scan())
+            storage.aggregates_rows = catalog.open(agg_name).load_batch().to_rows()
         return storage
 
     # -- inspection ---------------------------------------------------------------

@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.lint.analyzer import FileReport
 from repro.lint.rules import Violation
+from repro.relational.durable import atomic_write_text
 
 _VERSION = 1
 
@@ -47,7 +48,7 @@ class Baseline:
             "counts": dict(sorted(self.counts.items())),
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
 def observed_counts(reports: Iterable[FileReport]) -> dict[str, int]:

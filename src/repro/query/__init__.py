@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from repro.query.cache import FactCache
+from repro.query.cache import FactCache, ResultCache
 from repro.query.answer import (
     QueryStats,
     answer_bubst_query,
     answer_buc_query,
     answer_cure_query,
+    batch_execution_enabled,
     reference_group_by,
+    set_batch_execution,
 )
 from repro.query.workload import (
     all_node_queries,
@@ -42,7 +44,10 @@ __all__ = [
     "QueryPlan",
     "QueryRequest",
     "QueryStats",
+    "ResultCache",
     "all_node_queries",
+    "batch_execution_enabled",
+    "set_batch_execution",
     "allowed_rowids",
     "answer_cure_sliced",
     "answer_bubst_query",

@@ -16,22 +16,58 @@ Per format:
 * **BU-BST** — scan the whole monolithic relation, keeping exact-node rows
   and the BSTs whose storing node lies on this node's plan path; this full
   scan is why Figure 16 shows it orders of magnitude slower.
+
+Execution is vectorized by default: stored rows become int64 matrices,
+R-rowids dereference through :meth:`FactCache.fetch_batch` as one
+columnar gather, hierarchy roll-up and singleton aggregates run as whole
+batch kernels (:mod:`repro.query.vector`), and the A-rowid join against
+AGGREGATES is a single fancy-index into the cached matrix view.  The
+original tuple-at-a-time implementations remain behind
+:func:`set_batch_execution` as the reference path — answers and work
+counters are identical either way, which the equivalence tests assert.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.bubst import ALL_MARKER, BuBstCube
+import numpy as np
+
+from repro.baselines.bubst import BuBstCube
 from repro.baselines.buc import BucCube
 from repro.core.model import CubeSchema
 from repro.core.storage import CatFormat, CubeStorage
 from repro.lattice.node import CubeNode
 from repro.lattice.plan import plan_ancestors
 from repro.query.cache import FactCache
+from repro.query.vector import (
+    extend_answer,
+    project_fact_dims,
+    singleton_aggregates,
+)
 from repro.relational.aggregates import aggregate_singleton
 
 Answer = list[tuple[tuple[int, ...], tuple[int, ...]]]
+
+_BATCH_EXECUTION = True
+
+
+def set_batch_execution(enabled: bool) -> bool:
+    """Switch the answering layer between batch and row execution.
+
+    Returns the previous setting.  Row execution exists as a reference
+    and benchmark baseline; both paths produce identical answers and
+    identical work counters.
+    """
+    global _BATCH_EXECUTION
+    previous = _BATCH_EXECUTION
+    _BATCH_EXECUTION = enabled
+    return previous
+
+
+def batch_execution_enabled() -> bool:
+    """Whether answering currently runs on the vectorized path."""
+    return _BATCH_EXECUTION
 
 
 @dataclass
@@ -61,14 +97,41 @@ def answer_cure_query(
     schema = storage.schema
     node_id = schema.node_id(node)
     answer: Answer = []
-    store = storage.get_node_store(node_id)
-    if store is not None:
-        _append_nts(schema, storage, cache, node, store, answer, stats)
-        _append_cats(schema, storage, cache, node, store, answer, stats)
-    _append_tts(schema, storage, cache, node, answer, stats)
+    if _BATCH_EXECUTION:
+        for dims, aggregates in node_matrix_parts(storage, cache, node, stats):
+            extend_answer(answer, dims, aggregates)
+    else:
+        store = storage.get_node_store(node_id)
+        if store is not None:
+            _append_nts(schema, storage, cache, node, store, answer, stats)
+            _append_cats(schema, storage, cache, node, store, answer, stats)
+        _append_tts(schema, storage, cache, node, answer, stats)
     if stats is not None:
         stats.tuples_returned += len(answer)
     return answer
+
+
+def node_matrix_parts(storage, cache, node, stats=None):
+    """Yield each stored relation's answer contribution as matrices.
+
+    The vectorized execution core: one aligned ``(dims, aggregates)``
+    int64 matrix pair per contributing relation (NT, CAT, then shared
+    TTs).  :func:`answer_cure_query` materializes the pairs into tuple
+    answers; the sliced path masks them in matrix space first, so
+    filtered-out rows never become Python objects.  ``rows_scanned`` and
+    ``fact_fetches`` update exactly as the row path does;
+    ``tuples_returned`` is left to the caller.
+    """
+    schema = storage.schema
+    store = storage.get_node_store(schema.node_id(node))
+    if store is not None:
+        part = _nt_part(schema, storage, cache, node, store, stats)
+        if part is not None:
+            yield part
+        part = _cat_part(schema, storage, cache, node, store, stats)
+        if part is not None:
+            yield part
+    yield from _tt_parts(schema, storage, cache, node, stats)
 
 
 def _append_nts(schema, storage, cache, node, store, answer, stats) -> None:
@@ -89,6 +152,23 @@ def _append_nts(schema, storage, cache, node, store, answer, stats) -> None:
     for row, fact_row in zip(store.nt_rows, fact_rows):
         dims = schema.project_to_node(schema.dim_values(fact_row), node)
         answer.append((dims, row[1 : 1 + y]))
+
+
+def _nt_part(schema, storage, cache, node, store, stats):
+    if not store.nt_rows:
+        return None
+    y = schema.n_aggregates
+    nt = store.nt_matrix()
+    if stats is not None:
+        stats.rows_scanned += len(nt)
+    if storage.dr_mode:
+        arity = len(node.grouping_dims(schema.dimensions))
+        return nt[:, :arity], nt[:, arity : arity + y]
+    rowids = nt[:, 0]
+    fact = cache.fetch_batch(rowids, sorted_hint=storage.plus_processed)
+    if stats is not None:
+        stats.fact_fetches += len(rowids)
+    return project_fact_dims(schema, fact, node), nt[:, 1 : 1 + y]
 
 
 def _append_cats(schema, storage, cache, node, store, answer, stats) -> None:
@@ -123,6 +203,41 @@ def _append_cats(schema, storage, cache, node, store, answer, stats) -> None:
     for row, fact_row in zip(store.cat_rows, fact_rows):
         dims = schema.project_to_node(schema.dim_values(fact_row), node)
         answer.append((dims, tuple(storage.aggregates_rows[row[1]])))
+
+
+def _cat_part(schema, storage, cache, node, store, stats):
+    y = schema.n_aggregates
+    if storage.cat_format is CatFormat.COMMON_SOURCE:
+        if store.cat_bitmap is not None:
+            arowid_array = np.fromiter(
+                store.cat_bitmap.iter_set(), dtype=np.int64
+            )
+        elif store.cat_rows:
+            arowid_array = store.cat_matrix()[:, 0]
+        else:
+            return None
+        if not len(arowid_array):
+            return None
+        if stats is not None:
+            stats.rows_scanned += len(arowid_array)
+        entries = storage.aggregates_matrix()[arowid_array]
+        rowids = entries[:, 0]
+        fact = cache.fetch_batch(rowids, sorted_hint=storage.plus_processed)
+        if stats is not None:
+            stats.fact_fetches += len(rowids)
+        dims = project_fact_dims(schema, fact, node)
+        return dims, entries[:, 1 : 1 + y]
+    if not store.cat_rows:
+        return None
+    # Format (b): one fancy-index joins A-rowids against AGGREGATES.
+    cat = store.cat_matrix()
+    if stats is not None:
+        stats.rows_scanned += len(cat)
+    fact = cache.fetch_batch(cat[:, 0], sorted_hint=False)
+    if stats is not None:
+        stats.fact_fetches += len(cat)
+    dims = project_fact_dims(schema, fact, node)
+    return dims, storage.aggregates_matrix()[cat[:, 1]]
 
 
 def _construction_phase(storage: CubeStorage, node: CubeNode) -> str:
@@ -194,6 +309,27 @@ def _append_tts(schema, storage, cache, node, answer, stats) -> None:
                 schema.aggregates, schema.measures(fact_row)
             )
             answer.append((dims, aggregates))
+
+
+def _tt_parts(schema, storage, cache, node, stats):
+    for source in tt_source_nodes(storage, node):
+        store = storage.get_node_store(schema.node_id(source))
+        if store is None:
+            continue
+        if store.tt_bitmap is not None:
+            rowids = np.fromiter(store.tt_bitmap.iter_set(), dtype=np.int64)
+            sorted_hint = True
+        else:
+            rowids = store.tt_array()
+            sorted_hint = storage.plus_processed
+        if not len(rowids):
+            continue
+        if stats is not None:
+            stats.rows_scanned += len(rowids)
+            stats.fact_fetches += len(rowids)
+        fact = cache.fetch_batch(rowids, sorted_hint=sorted_hint)
+        dims = project_fact_dims(schema, fact, node)
+        yield dims, singleton_aggregates(schema, fact)
 
 
 # -- BUC ---------------------------------------------------------------------------

@@ -1,22 +1,40 @@
-"""Fact-table caching for query answering (Section 5.3, Figure 17).
+"""Fact-table and result caching for query answering (Section 5.3).
 
 CURE's query bottleneck is dereferencing R-rowids (and A-rowids) back to
 the fact table and the AGGREGATES relation.  The paper's observation is
 that *these two relations* are the only things worth caching — a rule no
 other ROLAP format offers.  :class:`FactCache` models a partial cache: a
 seeded random ``fraction`` of fact row-ids is resident; misses hit the
-heap file with real I/O.  ``fraction=1.0`` (or an in-memory fact table)
-makes every fetch a hit.
+disk-backed relation with real I/O.  ``fraction=1.0`` (or an in-memory
+fact table) makes every fetch a hit.  :meth:`FactCache.fetch_batch`
+serves bulk dereferences as one columnar
+:class:`~repro.relational.batch.ColumnBatch` — over an in-memory fact
+table that is a single fancy-index gather.
+
+:class:`ResultCache` sits one level up: whole materialized node answers,
+stored as ColumnBatches keyed by ``(node, predicate)``, so repeated
+group-by requests skip answering entirely.
+
+The disk-backed source is typed as the structural
+:class:`~repro.relational.batch.RowSource` protocol — the query layer
+never touches heap-file internals (cubelint R1).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.model import CubeSchema
-from repro.relational.heap import HeapFile
+from repro.relational.batch import ColumnBatch, RowSource
+from repro.relational.schema import Column, ColumnType, TableSchema
 from repro.relational.table import Table
+
+if TYPE_CHECKING:
+    from repro.query.slice import DimensionSlice
 
 
 @dataclass
@@ -36,10 +54,12 @@ class FactCache:
     Exactly one of ``heap`` / ``table`` must be given.  With ``table`` the
     whole relation is trivially resident (the paper's in-memory case, where
     query results are "orders of magnitude better, due to caching").
+    ``heap`` is any :class:`~repro.relational.batch.RowSource` — in
+    practice a heap file handed over by the relational layer.
     """
 
     schema: CubeSchema
-    heap: HeapFile | None = None
+    heap: RowSource | None = None
     table: Table | None = None
     fraction: float = 1.0
     seed: int = 7
@@ -62,7 +82,7 @@ class FactCache:
             return
         rng = random.Random(self.seed)
         if target >= n:
-            chosen = range(n)
+            chosen: object = range(n)
         else:
             chosen = rng.sample(range(n), target)
         for rowid in sorted(chosen):
@@ -110,3 +130,79 @@ class FactCache:
             fetched = self.heap.read_rows_sequential(unique_missing)
             result.update(zip(unique_missing, fetched))
         return [result[rowid] for rowid in rowids]
+
+    def fetch_batch(self, rowids, sorted_hint: bool = False) -> ColumnBatch:
+        """Fetch several rows as one columnar batch.
+
+        Over an in-memory table this is a single fancy-index gather of
+        the table's cached columnar view; over a disk-backed source it
+        bridges through :meth:`fetch_many` (hit/miss accounting and the
+        sequential-pass coalescing are identical to the row path).
+        """
+        if self.table is not None:
+            self.stats.hits += len(rowids)
+            indices = np.asarray(rowids, dtype=np.int64)
+            return self.table.as_batch().take(indices)
+        rows = self.fetch_many(list(rowids), sorted_hint=sorted_hint)
+        return ColumnBatch.from_rows(self.schema.fact_schema, rows)
+
+
+def _result_schema(arity: int, width: int) -> TableSchema:
+    """Schema for a cached answer: grouping codes then aggregate values."""
+    columns = [Column(f"g_{i}", ColumnType.INT64) for i in range(arity)]
+    columns += [
+        Column(f"a_{i}", ColumnType.INT64) for i in range(width - arity)
+    ]
+    return TableSchema(tuple(columns))
+
+
+@dataclass
+class ResultCache:
+    """Materialized node answers, cached as columnar batches.
+
+    Keys are ``(node_id, slices)`` — the node plus the request's member
+    predicates.  Each entry holds the answer's dimension and aggregate
+    values as one :class:`ColumnBatch` (grouping columns, then aggregate
+    columns); decoding rebuilds the tuple-pair answer shape on demand.
+    Entries evict FIFO beyond ``max_entries``.
+    """
+
+    max_entries: int = 128
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: dict[
+        tuple[int, tuple[DimensionSlice, ...]], tuple[ColumnBatch, int]
+    ] = field(default_factory=dict, repr=False)
+
+    def get(
+        self, node_id: int, slices: tuple[DimensionSlice, ...] = ()
+    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]] | None:
+        entry = self._entries.get((node_id, slices))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        batch, arity = entry
+        return [
+            (row[:arity], row[arity:]) for row in batch.to_rows()
+        ]
+
+    def put(
+        self,
+        node_id: int,
+        slices: tuple[DimensionSlice, ...],
+        answer: list[tuple[tuple[int, ...], tuple[int, ...]]],
+    ) -> None:
+        key = (node_id, slices)
+        while len(self._entries) >= self.max_entries and key not in self._entries:
+            self._entries.pop(next(iter(self._entries)))
+        arity = len(answer[0][0]) if answer else 0
+        width = arity + (len(answer[0][1]) if answer else 0)
+        rows = [dims + aggregates for dims, aggregates in answer]
+        batch = ColumnBatch.from_rows(_result_schema(arity, width), rows)
+        self._entries[key] = (batch, arity)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -13,6 +13,8 @@ All three functions require the schema to carry a COUNT aggregate.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.bubst import BuBstCube
 from repro.baselines.buc import BucCube
 from repro.core.storage import CatFormat, CubeStorage
@@ -22,8 +24,10 @@ from repro.query.answer import (
     QueryStats,
     answer_bubst_query,
     answer_buc_query,
+    batch_execution_enabled,
 )
 from repro.query.cache import FactCache
+from repro.query.vector import extend_answer, project_fact_dims
 
 
 def _require_count_index(schema) -> int:
@@ -53,6 +57,10 @@ def iceberg_over_cure(
     store = storage.get_node_store(schema.node_id(node))
     if store is None:
         return answer
+    if batch_execution_enabled():
+        return _iceberg_cure_batch(
+            storage, cache, node, min_count, count_index, stats
+        )
     y = schema.n_aggregates
     # NTs: filter on the stored count before paying any fact fetch.
     if storage.dr_mode:
@@ -106,6 +114,76 @@ def iceberg_over_cure(
                 stats.fact_fetches += 1
             dims = schema.project_to_node(schema.dim_values(fact_row), node)
             answer.append((dims, aggregates))
+    if stats is not None:
+        stats.tuples_returned += len(answer)
+    return answer
+
+
+def _iceberg_cure_batch(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    min_count: int,
+    count_index: int,
+    stats: QueryStats | None,
+) -> Answer:
+    """Vectorized iceberg: count masks over NT/CAT matrices, TTs skipped."""
+    schema = storage.schema
+    y = schema.n_aggregates
+    answer: Answer = []
+    store = storage.get_node_store(schema.node_id(node))
+    if store is None:
+        return answer
+    # NTs: filter on the stored count before paying any fact fetch.
+    if storage.dr_mode:
+        if store.nt_rows:
+            arity = len(node.grouping_dims(schema.dimensions))
+            nt = store.nt_matrix()
+            aggregates = nt[:, arity : arity + y]
+            passing = aggregates[:, count_index] >= min_count
+            if stats is not None:
+                stats.rows_scanned += len(nt)
+            extend_answer(answer, nt[passing, :arity], aggregates[passing])
+    elif store.nt_rows:
+        nt = store.nt_matrix()
+        passing = nt[nt[:, 1 + count_index] >= min_count]
+        if stats is not None:
+            stats.rows_scanned += len(nt)
+            stats.fact_fetches += len(passing)
+        fact = cache.fetch_batch(
+            passing[:, 0], sorted_hint=storage.plus_processed
+        )
+        dims = project_fact_dims(schema, fact, node)
+        extend_answer(answer, dims, passing[:, 1 : 1 + y])
+    # CATs: the aggregate vector lives in AGGREGATES; filter there.
+    if storage.cat_format is CatFormat.COMMON_SOURCE:
+        if store.cat_bitmap is not None:
+            arowid_array = np.fromiter(
+                store.cat_bitmap.iter_set(), dtype=np.int64
+            )
+        elif store.cat_rows:
+            arowid_array = store.cat_matrix()[:, 0]
+        else:
+            arowid_array = np.empty(0, dtype=np.int64)
+        if len(arowid_array):
+            entries = storage.aggregates_matrix()[arowid_array]
+            entries = entries[entries[:, 1 + count_index] >= min_count]
+            if stats is not None:
+                stats.rows_scanned += len(arowid_array)
+                stats.fact_fetches += len(entries)
+            fact = cache.fetch_batch(entries[:, 0])
+            dims = project_fact_dims(schema, fact, node)
+            extend_answer(answer, dims, entries[:, 1 : 1 + y])
+    elif store.cat_rows:
+        cat = store.cat_matrix()
+        aggregates = storage.aggregates_matrix()[cat[:, 1]]
+        passing = aggregates[:, count_index] >= min_count
+        if stats is not None:
+            stats.rows_scanned += len(cat)
+            stats.fact_fetches += int(passing.sum())
+        fact = cache.fetch_batch(cat[passing, 0])
+        dims = project_fact_dims(schema, fact, node)
+        extend_answer(answer, dims, aggregates[passing])
     if stats is not None:
         stats.tuples_returned += len(answer)
     return answer

@@ -16,6 +16,12 @@ request, the way a host engine's optimizer would:
 ``explain`` reports the chosen strategy and its estimated work (stored
 tuples that will be touched), which the planner also uses as its cost
 signal.
+
+Answers are memoized in a :class:`~repro.query.cache.ResultCache` keyed
+by ``(node, slices)`` — repeated requests decode the cached columnar
+batch instead of re-answering.  The cache is bypassed whenever the
+caller passes a ``stats`` object, since instrumented runs exist to
+measure the underlying work.
 """
 
 from __future__ import annotations
@@ -30,9 +36,9 @@ from repro.query.answer import (
     answer_cure_query,
     tt_source_nodes,
 )
-from repro.query.cache import FactCache
+from repro.query.cache import FactCache, ResultCache
 from repro.query.rollup import base_node_of, rollup_base_answer
-from repro.query.slice import DimensionSlice, answer_cure_sliced
+from repro.query.slice import DimensionSlice, answer_cure_sliced, slice_predicate
 from repro.relational.index import InvertedIndex
 
 
@@ -70,6 +76,7 @@ class CubePlanner:
     storage: CubeStorage
     cache: FactCache
     indices: dict[int, InvertedIndex] | None = None
+    results: ResultCache | None = field(default_factory=ResultCache)
 
     # -- planning -----------------------------------------------------------
 
@@ -122,6 +129,20 @@ class CubePlanner:
     def answer(
         self, request: QueryRequest, stats: QueryStats | None = None
     ) -> Answer:
+        results = self.results if stats is None else None
+        node_id = self.storage.schema.node_id(request.node)
+        if results is not None:
+            cached = results.get(node_id, request.slices)
+            if cached is not None:
+                return cached
+        answer = self._execute(request, stats)
+        if results is not None:
+            results.put(node_id, request.slices, answer)
+        return answer
+
+    def _execute(
+        self, request: QueryRequest, stats: QueryStats | None
+    ) -> Answer:
         plan = self.plan(request)
         if plan.strategy == "direct":
             return answer_cure_query(
@@ -136,13 +157,13 @@ class CubePlanner:
             )
             if not request.slices:
                 return rolled
-            from repro.query.slice import _matches  # shared predicate
-
-            schema = self.storage.schema
+            accepts = slice_predicate(
+                self.storage.schema, request.node, request.slices
+            )
             return [
                 (dims, aggregates)
                 for dims, aggregates in rolled
-                if _matches(schema, request.node, request.slices, dims)
+                if accepts(dims)
             ]
         return answer_cure_sliced(
             self.storage,

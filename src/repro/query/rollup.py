@@ -15,6 +15,8 @@ a holistic aggregate raises, mirroring the real limitation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.bubst import BuBstCube
 from repro.baselines.buc import BucCube
 from repro.core.model import CubeSchema
@@ -26,8 +28,10 @@ from repro.query.answer import (
     answer_bubst_query,
     answer_buc_query,
     answer_cure_query,
+    batch_execution_enabled,
 )
 from repro.query.cache import FactCache
+from repro.query.vector import extend_answer, level_map
 
 
 def base_node_of(schema: CubeSchema, node: CubeNode) -> CubeNode:
@@ -44,13 +48,21 @@ def base_node_of(schema: CubeSchema, node: CubeNode) -> CubeNode:
 def rollup_base_answer(
     schema: CubeSchema, base_answer: Answer, node: CubeNode
 ) -> Answer:
-    """Re-aggregate a base-level node answer up to ``node``'s levels."""
+    """Re-aggregate a base-level node answer up to ``node``'s levels.
+
+    The vectorized default rolls every tuple's codes up through the
+    cached :func:`~repro.query.vector.level_map` arrays, group-sorts via
+    ``np.lexsort``, and merges each aggregate column with its function's
+    segmented ``ufunc.reduceat`` — the batch dual of pairwise ``merge``.
+    """
     if not schema.all_distributive:
         raise ValueError(
             "on-the-fly roll-up needs distributive aggregates; a holistic "
             "aggregate cannot be recomputed from base-level partials"
         )
     grouping = node.grouping_dims(schema.dimensions)
+    if base_answer and grouping and batch_execution_enabled():
+        return _rollup_base_answer_batch(schema, base_answer, node, grouping)
     groups: dict[tuple[int, ...], tuple[int, ...]] = {}
     for dims, aggregates in base_answer:
         rolled = tuple(
@@ -66,6 +78,45 @@ def rollup_base_answer(
                 for spec, a, b in zip(schema.aggregates, existing, aggregates)
             )
     return list(groups.items())
+
+
+def _rollup_base_answer_batch(
+    schema: CubeSchema,
+    base_answer: Answer,
+    node: CubeNode,
+    grouping: tuple[int, ...],
+) -> Answer:
+    """Lexsort + reduceat re-aggregation of a non-empty base answer."""
+    dims = np.asarray([pair[0] for pair in base_answer], dtype=np.int64)
+    aggregates = np.asarray([pair[1] for pair in base_answer], dtype=np.int64)
+    rolled = np.empty_like(dims)
+    for i, dim in enumerate(grouping):
+        level = node.levels[dim]
+        column = dims[:, i]
+        if level == 0:
+            rolled[:, i] = column
+        else:
+            rolled[:, i] = level_map(schema.dimensions[dim], level)[column]
+    order = np.lexsort(tuple(rolled[:, i] for i in reversed(range(len(grouping)))))
+    keys = rolled[order]
+    changed = np.any(keys[1:] != keys[:-1], axis=1)
+    starts = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.flatnonzero(changed) + 1)
+    )
+    sorted_aggregates = aggregates[order]
+    merged = np.empty(
+        (len(starts), len(schema.aggregates)), dtype=np.int64
+    )
+    for j, spec in enumerate(schema.aggregates):
+        ufunc = spec.function.ufunc
+        if ufunc is None:  # pragma: no cover - all_distributive guards this
+            raise ValueError(
+                f"aggregate {spec.name!r} lacks a segmented merge kernel"
+            )
+        merged[:, j] = ufunc.reduceat(sorted_aggregates[:, j], starts)
+    answer: Answer = []
+    extend_answer(answer, keys[starts], merged)
+    return answer
 
 
 def answer_rollup_from_flat(

@@ -15,16 +15,38 @@ both halves:
   row-id a CURE tuple stores belongs to its source group, whose members
   all share the grouping dimensions' values, so one membership test
   decides the whole tuple.
+
+The pre-filtered path runs vectorized by default: row-id membership is
+one ``np.isin`` against the sorted allowed array per relation, and the
+surviving rows dereference/project through the same batch kernels as
+:mod:`repro.query.answer` (whose :func:`set_batch_execution` switch also
+governs this module).  Post-filtering compiles each slice to its set of
+accepted node-level codes once (:func:`slice_predicate`), replacing the
+per-tuple base-representative search.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.storage import CatFormat, CubeStorage
 from repro.lattice.node import CubeNode
-from repro.query.answer import Answer, QueryStats, tt_source_nodes
+from repro.query.answer import (
+    Answer,
+    QueryStats,
+    batch_execution_enabled,
+    tt_source_nodes,
+)
 from repro.query.cache import FactCache
+from repro.query.vector import (
+    extend_answer,
+    project_fact_dims,
+    singleton_aggregates,
+    sorted_id_array,
+)
 from repro.relational.aggregates import aggregate_singleton
 from repro.relational.index import InvertedIndex
 
@@ -112,6 +134,42 @@ def answer_cure_sliced(
     return _answer_postfiltered(storage, cache, node, slices, stats)
 
 
+def _compiled_slice_tests(
+    schema, node: CubeNode, slices
+) -> list[tuple[int, set[int]]]:
+    """Per slice: (grouping position, accepted node-level codes).
+
+    Each slice's accepted codes are enumerated once through the base
+    maps, replacing the per-tuple base-representative search of
+    :func:`_matches`.
+    """
+    grouping = node.grouping_dims(schema.dimensions)
+    position_of = {dim: i for i, dim in enumerate(grouping)}
+    tests: list[tuple[int, set[int]]] = []
+    for item in slices:
+        dimension = schema.dimensions[item.dim]
+        node_level = node.levels[item.dim]
+        accepted = {
+            dimension.code_at(base, node_level)
+            for base in range(dimension.base_cardinality)
+            if dimension.code_at(base, item.level) in item.members
+        }
+        tests.append((position_of[item.dim], accepted))
+    return tests
+
+
+def slice_predicate(
+    schema, node: CubeNode, slices
+) -> Callable[[tuple[int, ...]], bool]:
+    """Compile slices into a membership test over answer dim tuples."""
+    tests = _compiled_slice_tests(schema, node, slices)
+
+    def accepts(dims: tuple[int, ...]) -> bool:
+        return all(dims[p] in accepted for p, accepted in tests)
+
+    return accepts
+
+
 def _matches(schema, node, slices, dims: tuple[int, ...]) -> bool:
     grouping = node.grouping_dims(schema.dimensions)
     position_of = {dim: i for i, dim in enumerate(grouping)}
@@ -133,11 +191,9 @@ def _roll_between(dimension, code: int, from_level: int, to_level: int) -> int:
     if from_level == to_level:
         return code
     # Find a base code whose from_level image is `code`, then roll it up.
-    # Linear scan cached per (dimension, level) would be nicer; member
-    # counts are small at coarse levels so this stays cheap.
-    base_map = dimension.base_maps[from_level] if from_level != 0 else None
     if from_level == 0:
         return dimension.code_at(code, to_level)
+    base_map = dimension.base_maps[from_level]
     for base_code, image in enumerate(base_map):
         if image == code:
             return dimension.code_at(base_code, to_level)
@@ -147,14 +203,37 @@ def _roll_between(dimension, code: int, from_level: int, to_level: int) -> int:
 
 
 def _answer_postfiltered(storage, cache, node, slices, stats) -> Answer:
-    from repro.query.answer import answer_cure_query
+    from repro.query.answer import answer_cure_query, node_matrix_parts
 
     schema = storage.schema
+    if batch_execution_enabled():
+        # Mask each relation's matrices before materializing tuples, so
+        # filtered-out rows never become Python objects.  The row path
+        # counts every computed tuple in ``tuples_returned`` before
+        # filtering; mirror that with the unmasked totals.
+        tests = [
+            (position, sorted_id_array(accepted))
+            for position, accepted in _compiled_slice_tests(
+                schema, node, slices
+            )
+        ]
+        answer: Answer = []
+        computed = 0
+        for dims, aggregates in node_matrix_parts(
+            storage, cache, node, stats
+        ):
+            computed += len(dims)
+            mask = np.ones(len(dims), dtype=np.bool_)
+            for position, accepted in tests:
+                mask &= np.isin(dims[:, position], accepted)
+            extend_answer(answer, dims[mask], aggregates[mask])
+        if stats is not None:
+            stats.tuples_returned += computed
+        return answer
     full = answer_cure_query(storage, cache, node, stats)
+    accepts = slice_predicate(schema, node, slices)
     return [
-        (dims, aggregates)
-        for dims, aggregates in full
-        if _matches(schema, node, slices, dims)
+        (dims, aggregates) for dims, aggregates in full if accepts(dims)
     ]
 
 
@@ -171,16 +250,30 @@ def _answer_prefiltered(
     group members share the grouping dimensions' values, the stored
     representative's membership in ``allowed`` decides the whole tuple.
     """
+    if storage.dr_mode and storage.get_node_store(
+        storage.schema.node_id(node)
+    ) is not None:
+        raise ValueError(
+            "index-assisted slicing needs row-id based NTs; query the "
+            "DR cube with post-filtering instead (indices=None)"
+        )
+    if batch_execution_enabled():
+        return _answer_prefiltered_batch(storage, cache, node, allowed, stats)
+    return _answer_prefiltered_rows(storage, cache, node, allowed, stats)
+
+
+def _answer_prefiltered_rows(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    allowed: set[int],
+    stats: QueryStats | None,
+) -> Answer:
     schema = storage.schema
     y = schema.n_aggregates
     answer: Answer = []
     store = storage.get_node_store(schema.node_id(node))
     if store is not None:
-        if storage.dr_mode:
-            raise ValueError(
-                "index-assisted slicing needs row-id based NTs; query the "
-                "DR cube with post-filtering instead (indices=None)"
-            )
         passing = [row for row in store.nt_rows if row[0] in allowed]
         if stats is not None:
             stats.rows_scanned += len(store.nt_rows)
@@ -252,6 +345,92 @@ def _answer_prefiltered(
                 schema.aggregates, schema.measures(fact_row)
             )
             answer.append((dims, aggregates))
+    if stats is not None:
+        stats.tuples_returned += len(answer)
+    return answer
+
+
+def _answer_prefiltered_batch(
+    storage: CubeStorage,
+    cache: FactCache,
+    node: CubeNode,
+    allowed: set[int],
+    stats: QueryStats | None,
+) -> Answer:
+    """Vectorized pre-filtering: one ``np.isin`` per relation."""
+    schema = storage.schema
+    y = schema.n_aggregates
+    allowed_array = sorted_id_array(allowed)
+    answer: Answer = []
+    store = storage.get_node_store(schema.node_id(node))
+    if store is not None:
+        if store.nt_rows:
+            nt = store.nt_matrix()
+            passing = nt[np.isin(nt[:, 0], allowed_array)]
+            if stats is not None:
+                stats.rows_scanned += len(nt)
+                stats.fact_fetches += len(passing)
+            fact = cache.fetch_batch(
+                passing[:, 0], sorted_hint=storage.plus_processed
+            )
+            dims = project_fact_dims(schema, fact, node)
+            extend_answer(answer, dims, passing[:, 1 : 1 + y])
+        elif stats is not None:
+            stats.rows_scanned += len(store.nt_rows)
+
+        if storage.cat_format is CatFormat.COMMON_SOURCE:
+            if store.cat_bitmap is not None:
+                arowid_array = np.fromiter(
+                    store.cat_bitmap.iter_set(), dtype=np.int64
+                )
+            elif store.cat_rows:
+                arowid_array = store.cat_matrix()[:, 0]
+            else:
+                arowid_array = np.empty(0, dtype=np.int64)
+            if len(arowid_array):
+                entries = storage.aggregates_matrix()[arowid_array]
+                entries = entries[np.isin(entries[:, 0], allowed_array)]
+                if stats is not None:
+                    stats.rows_scanned += len(arowid_array)
+                    stats.fact_fetches += len(entries)
+                fact = cache.fetch_batch(
+                    entries[:, 0], sorted_hint=storage.plus_processed
+                )
+                dims = project_fact_dims(schema, fact, node)
+                extend_answer(answer, dims, entries[:, 1 : 1 + y])
+        elif store.cat_rows:
+            cat = store.cat_matrix()
+            passing_cats = cat[np.isin(cat[:, 0], allowed_array)]
+            if stats is not None:
+                stats.rows_scanned += len(cat)
+                stats.fact_fetches += len(passing_cats)
+            fact = cache.fetch_batch(passing_cats[:, 0])
+            dims = project_fact_dims(schema, fact, node)
+            extend_answer(
+                answer,
+                dims,
+                storage.aggregates_matrix()[passing_cats[:, 1]],
+            )
+
+    for source in tt_source_nodes(storage, node):
+        tt_store = storage.get_node_store(schema.node_id(source))
+        if tt_store is None:
+            continue
+        if tt_store.tt_bitmap is not None:
+            candidates = sorted_id_array(tt_store.tt_bitmap.iter_set())
+            total = tt_store.tt_bitmap.count()
+        else:
+            candidates = tt_store.tt_array()
+            total = len(tt_store.tt_rowids)
+        rowids = candidates[np.isin(candidates, allowed_array)]
+        if stats is not None:
+            stats.rows_scanned += total
+            stats.fact_fetches += len(rowids)
+        if not len(rowids):
+            continue
+        fact = cache.fetch_batch(np.sort(rowids), sorted_hint=True)
+        dims = project_fact_dims(schema, fact, node)
+        extend_answer(answer, dims, singleton_aggregates(schema, fact))
     if stats is not None:
         stats.tuples_returned += len(answer)
     return answer

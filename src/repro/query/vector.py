@@ -1,0 +1,96 @@
+"""Vectorized helpers shared by the query-answering layer.
+
+Query answering over the per-node relations of Section 5 is dominated by
+three per-tuple operations: rolling fact dimension codes up to a node's
+levels, forming singleton aggregate vectors for TTs, and copying stored
+aggregate vectors into the answer.  These helpers run each of them as
+one numpy kernel over a whole :class:`~repro.relational.batch.ColumnBatch`
+(or row matrix), then bridge back to the tuple-pair ``Answer`` shape the
+correctness tests compare.
+
+Hierarchy roll-up maps (``Dimension.base_maps``) are plain tuples on the
+dimension objects; :func:`level_map` caches their array form so the hot
+path pays the conversion once per (dimension, level).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.relational.batch import ColumnBatch
+
+if TYPE_CHECKING:
+    from repro.core.model import CubeSchema
+    from repro.hierarchy.dimension import Dimension
+    from repro.lattice.node import CubeNode
+
+_LEVEL_MAPS: dict[tuple[int, int], tuple[object, np.ndarray]] = {}
+
+
+def level_map(dimension: "Dimension", level: int) -> np.ndarray:
+    """``dimension.base_maps[level]`` as a cached int64 lookup array."""
+    key = (id(dimension), level)
+    entry = _LEVEL_MAPS.get(key)
+    if entry is not None and entry[0] is dimension:
+        return entry[1]
+    array = np.asarray(dimension.base_maps[level], dtype=np.int64)
+    _LEVEL_MAPS[key] = (dimension, array)
+    return array
+
+
+def project_fact_dims(
+    schema: "CubeSchema", fact: ColumnBatch, node: "CubeNode"
+) -> np.ndarray:
+    """Roll a fact batch's dimension columns up to ``node``'s levels.
+
+    The vectorized dual of ``schema.project_to_node(schema.dim_values(r),
+    node)`` per row: one ``(n, grouping_arity)`` matrix for the batch.
+    """
+    columns = []
+    for d, dimension in enumerate(schema.dimensions):
+        level = node.levels[d]
+        if level == dimension.all_level:
+            continue
+        values = fact.arrays[d].astype(np.int64, copy=False)
+        if level != 0:
+            values = level_map(dimension, level)[values]
+        columns.append(values)
+    if not columns:
+        return np.empty((fact.length, 0), dtype=np.int64)
+    return np.stack(columns, axis=1)
+
+
+def singleton_aggregates(
+    schema: "CubeSchema", fact: ColumnBatch
+) -> np.ndarray:
+    """Vectorized ``aggregate_singleton`` over a fact batch → ``(n, Y)``."""
+    n_dims = schema.n_dimensions
+    columns = []
+    for spec in schema.aggregates:
+        measures = fact.arrays[n_dims + spec.measure_index]
+        values = spec.function.from_column(measures)
+        columns.append(values.astype(np.int64, copy=False))
+    if not columns:
+        return np.empty((fact.length, 0), dtype=np.int64)
+    return np.stack(columns, axis=1)
+
+
+def extend_answer(
+    answer: list[tuple[tuple[int, ...], tuple[int, ...]]],
+    dims: np.ndarray,
+    aggregates: np.ndarray,
+) -> None:
+    """Append aligned (dims, aggregates) matrix rows as answer pairs."""
+    answer.extend(
+        zip(map(tuple, dims.tolist()), map(tuple, aggregates.tolist()))
+    )
+
+
+def sorted_id_array(values: Iterable[int]) -> np.ndarray:
+    """A set/iterable of row-ids as a sorted int64 array (for ``np.isin``)."""
+    array = np.fromiter(values, dtype=np.int64)
+    array.sort()
+    return array

@@ -18,6 +18,12 @@ from repro.relational.aggregates import (
     SumAgg,
     make_aggregates,
 )
+from repro.relational.batch import (
+    ColumnBatch,
+    ColumnEquals,
+    ColumnIn,
+    RowSource,
+)
 from repro.relational.bitmap import Bitmap
 from repro.relational.catalog import Catalog
 from repro.relational.engine import Engine
@@ -33,8 +39,12 @@ __all__ = [
     "Bitmap",
     "Catalog",
     "Column",
+    "ColumnBatch",
+    "ColumnEquals",
+    "ColumnIn",
     "ColumnType",
     "CountAgg",
+    "RowSource",
     "Engine",
     "HeapFile",
     "InvertedIndex",

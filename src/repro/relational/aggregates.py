@@ -37,6 +37,15 @@ class AggregateFunction:
         """The aggregate of a singleton set {value}."""
         raise NotImplementedError
 
+    def from_column(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized ``from_value`` over a measure column.
+
+        The default identity covers every value-preserving function
+        (sum/min/max/median of a singleton is the value itself); COUNT
+        overrides it.  Must agree element-wise with ``from_value``.
+        """
+        return values
+
     def merge(self, left: int, right: int) -> int:
         """Combine two partial aggregates."""
         raise NotImplementedError
@@ -66,6 +75,9 @@ class CountAgg(AggregateFunction):
 
     def from_value(self, value: int) -> int:
         return 1
+
+    def from_column(self, values: np.ndarray) -> np.ndarray:
+        return np.ones(len(values), dtype=np.int64)
 
     def merge(self, left: int, right: int) -> int:
         return left + right

@@ -13,6 +13,8 @@ import enum
 import struct
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 class ColumnType(enum.Enum):
     """Physical column types supported by the substrate.
@@ -104,6 +106,22 @@ class TableSchema:
     def struct_format(self) -> str:
         """The :mod:`struct` format string for one record (standard sizes)."""
         return "<" + "".join(column.type.struct_code for column in self.columns)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """A packed numpy structured dtype matching ``struct_format``.
+
+        Field order, widths and endianness agree byte-for-byte with the
+        struct layout, so heap-file record bytes can be reinterpreted as
+        a structured array (and its fields as zero-copy column views).
+        """
+        codes = {"i": "<i4", "q": "<i8", "d": "<f8"}
+        return np.dtype(
+            [
+                (column.name, codes[column.type.struct_code])
+                for column in self.columns
+            ]
+        )
 
     def position(self, name: str) -> int:
         """Index of column ``name`` within a tuple.

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
+from repro.relational.batch import ColumnBatch
 from repro.relational.schema import TableSchema
 
 
@@ -29,6 +30,9 @@ class Table:
     schema: TableSchema
     rows: list[tuple] = field(default_factory=list)
     base_rowids: list[int] | None = None
+    _batch: ColumnBatch | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.base_rowids is not None and len(self.base_rowids) != len(self.rows):
@@ -64,6 +68,28 @@ class Table:
     def extend(self, rows: Iterable[tuple]) -> None:
         for row in rows:
             self.append(row)
+
+    def append_batch(self, batch: ColumnBatch) -> None:
+        """Append a columnar batch (bridged through tuples)."""
+        if batch.schema.names != self.schema.names:
+            raise ValueError(
+                f"batch schema {batch.schema.names} does not match "
+                f"table schema {self.schema.names}"
+            )
+        self.rows.extend(batch.to_rows())
+
+    def as_batch(self) -> ColumnBatch:
+        """The whole table as one columnar batch (cached).
+
+        The cache is keyed on the row count: appends invalidate it, and
+        callers that mutate ``rows`` in place without changing its length
+        must not rely on a fresh view.
+        """
+        cached = self._batch
+        if cached is None or cached.length != len(self.rows):
+            cached = ColumnBatch.from_rows(self.schema, self.rows)
+            self._batch = cached
+        return cached
 
     def column_values(self, name: str) -> list:
         """All values of one column, in row order."""

@@ -1,0 +1,310 @@
+"""Row/batch equivalence of the query layer, plus the new caches.
+
+The query entry points (plain node answering, sliced answering, iceberg,
+rollup) all dispatch on :func:`set_batch_execution`.  These tests run
+every entry point both ways over the same cube and require identical
+answers *and* identical cost accounting — the vectorized paths must not
+change what the benchmarks measure, only how fast it runs.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro import Table, build_cube
+from repro.core.postprocess import postprocess_plus
+from repro.core.variants import VARIANTS
+from repro.lattice.node import CubeNode
+from repro.query import (
+    DimensionSlice,
+    FactCache,
+    QueryStats,
+    ResultCache,
+    answer_cure_query,
+    answer_cure_sliced,
+    answer_rollup_from_flat,
+    batch_execution_enabled,
+    iceberg_over_cure,
+    set_batch_execution,
+)
+from repro.query.answer import normalize_answer
+from repro.query.planner import CubePlanner, QueryRequest, build_indices
+
+
+@contextmanager
+def batch_mode(enabled: bool):
+    previous = set_batch_execution(enabled)
+    try:
+        yield
+    finally:
+        set_batch_execution(previous)
+
+
+@pytest.fixture
+def built(paper_schema):
+    rng = random.Random(29)
+    rows = [
+        (rng.randrange(12), rng.randrange(8), rng.randrange(5),
+         rng.randrange(20))
+        for _ in range(400)
+    ]
+    table = Table(paper_schema.fact_schema, rows)
+    result = build_cube(paper_schema, table=table)
+    cache = FactCache(paper_schema, table=table)
+    return paper_schema, table, result.storage, cache
+
+
+def run_both(cache, fn):
+    """Run ``fn(stats)`` under row and under batch execution.
+
+    Returns ``(row_answer, row_stats, batch_answer, batch_stats)`` with
+    the fact-cache counters captured alongside the query counters.
+    """
+    outputs = []
+    for enabled in (False, True):
+        with batch_mode(enabled):
+            cache.stats.reset()
+            stats = QueryStats()
+            answer = fn(stats)
+            outputs.append(
+                (answer, stats, (cache.stats.hits, cache.stats.misses))
+            )
+    (row_answer, row_stats, row_cache) = outputs[0]
+    (batch_answer, batch_stats, batch_cache) = outputs[1]
+    assert row_cache == batch_cache, "fact-cache accounting diverged"
+    return row_answer, row_stats, batch_answer, batch_stats
+
+
+def assert_stats_equal(row_stats, batch_stats):
+    assert row_stats.rows_scanned == batch_stats.rows_scanned
+    assert row_stats.fact_fetches == batch_stats.fact_fetches
+    assert row_stats.tuples_returned == batch_stats.tuples_returned
+
+
+def test_set_batch_execution_returns_previous():
+    assert batch_execution_enabled() is True  # the default
+    assert set_batch_execution(False) is True
+    assert batch_execution_enabled() is False
+    assert set_batch_execution(True) is False
+    assert batch_execution_enabled() is True
+
+
+def test_node_queries_equivalent(built):
+    schema, _table, storage, cache = built
+    for node in schema.lattice.nodes():
+        row_answer, row_stats, batch_answer, batch_stats = run_both(
+            cache, lambda stats: answer_cure_query(storage, cache, node, stats)
+        )
+        assert row_answer == batch_answer  # order-identical, not just set
+        assert_stats_equal(row_stats, batch_stats)
+
+
+SLICE_CASES = [
+    ((0, 0, 0), [DimensionSlice.of(0, 1, {0, 2})]),
+    ((1, 0, 1), [DimensionSlice.of(0, 2, {0})]),
+    ((0, 1, 0), [DimensionSlice.of(0, 1, {1}), DimensionSlice.of(2, 0, {0, 1})]),
+    ((2, 2, 0), [DimensionSlice.of(2, 0, {2, 4})]),
+]
+
+
+@pytest.mark.parametrize("levels,slices", SLICE_CASES)
+def test_sliced_queries_equivalent(built, levels, slices):
+    schema, table, storage, cache = built
+    node = CubeNode(levels)
+    indices = build_indices(schema, table.rows)
+    for index_arg in (None, indices):
+        row_answer, row_stats, batch_answer, batch_stats = run_both(
+            cache,
+            lambda stats: answer_cure_sliced(
+                storage, cache, node, slices, index_arg, stats
+            ),
+        )
+        assert normalize_answer(row_answer) == normalize_answer(batch_answer)
+        assert_stats_equal(row_stats, batch_stats)
+
+
+@pytest.mark.parametrize("min_count", [2, 3, 6])
+def test_iceberg_equivalent(built, min_count):
+    schema, _table, storage, cache = built
+    for node in [CubeNode((0, 0, 0)), CubeNode((1, 1, 0)), CubeNode((0, 2, 1))]:
+        row_answer, row_stats, batch_answer, batch_stats = run_both(
+            cache,
+            lambda stats: iceberg_over_cure(
+                storage, cache, node, min_count, stats
+            ),
+        )
+        assert normalize_answer(row_answer) == normalize_answer(batch_answer)
+        assert_stats_equal(row_stats, batch_stats)
+
+
+def test_rollup_equivalent(paper_schema):
+    rng = random.Random(31)
+    rows = [
+        (rng.randrange(12), rng.randrange(8), rng.randrange(5),
+         rng.randrange(20))
+        for _ in range(300)
+    ]
+    table = Table(paper_schema.fact_schema, rows)
+    result, _plus = VARIANTS["FCURE"].build(schema=paper_schema, table=table)
+    cache = FactCache(paper_schema, table=table)
+    for levels in [(1, 0, 0), (2, 1, 0), (2, 2, 1), (1, 2, 1)]:
+        node = CubeNode(levels)
+        row_answer, row_stats, batch_answer, batch_stats = run_both(
+            cache,
+            lambda stats: answer_rollup_from_flat(
+                result.storage, cache, node, stats
+            ),
+        )
+        # The batch rollup merges groups in key order, the row path in
+        # first-seen order; contents must agree exactly.
+        assert normalize_answer(row_answer) == normalize_answer(batch_answer)
+        assert_stats_equal(row_stats, batch_stats)
+
+
+def test_dr_mode_queries_equivalent(built):
+    schema, table, _storage, cache = built
+    dr = build_cube(schema, table=table, dr_mode=True)
+    node = CubeNode((0, 0, 0))
+    slices = [DimensionSlice.of(0, 1, {0})]
+    row_answer, row_stats, batch_answer, batch_stats = run_both(
+        cache,
+        lambda stats: answer_cure_sliced(
+            dr.storage, cache, node, slices, None, stats
+        ),
+    )
+    assert normalize_answer(row_answer) == normalize_answer(batch_answer)
+    assert_stats_equal(row_stats, batch_stats)
+    row_answer, _rs, batch_answer, _bs = run_both(
+        cache,
+        lambda stats: iceberg_over_cure(dr.storage, cache, node, 3, stats),
+    )
+    assert normalize_answer(row_answer) == normalize_answer(batch_answer)
+
+
+def test_plus_processed_queries_equivalent(built):
+    schema, _table, storage, cache = built
+    postprocess_plus(storage)
+    for node in [CubeNode((0, 0, 0)), CubeNode((0, 1, 1)), CubeNode((2, 2, 1))]:
+        row_answer, row_stats, batch_answer, batch_stats = run_both(
+            cache, lambda stats: answer_cure_query(storage, cache, node, stats)
+        )
+        assert row_answer == batch_answer
+        assert_stats_equal(row_stats, batch_stats)
+
+
+# -- the result cache ---------------------------------------------------------
+
+
+def test_result_cache_roundtrip():
+    cache = ResultCache()
+    answer = [((1, 2), (30, 4)), ((5, 6), (70, 8))]
+    assert cache.get(9) is None
+    assert cache.stats.misses == 1
+    cache.put(9, (), answer)
+    assert cache.get(9) == answer
+    assert cache.stats.hits == 1
+    assert len(cache) == 1
+
+
+def test_result_cache_caches_empty_answers():
+    cache = ResultCache()
+    cache.put(3, (), [])
+    assert cache.get(3) == []  # a cached empty answer is a hit, not None
+    assert cache.stats.hits == 1
+
+
+def test_result_cache_slices_key_separation():
+    cache = ResultCache()
+    sliced = (DimensionSlice.of(0, 1, frozenset({0})),)
+    cache.put(1, (), [((0,), (1,))])
+    cache.put(1, sliced, [((2,), (3,))])
+    assert cache.get(1, ()) == [((0,), (1,))]
+    assert cache.get(1, sliced) == [((2,), (3,))]
+    assert len(cache) == 2
+
+
+def test_result_cache_fifo_eviction():
+    cache = ResultCache(max_entries=2)
+    for node_id in (1, 2, 3):
+        cache.put(node_id, (), [((node_id,), (node_id,))])
+    assert len(cache) == 2
+    assert cache.get(1) is None  # the oldest entry was evicted
+    assert cache.get(2) is not None
+    assert cache.get(3) is not None
+
+
+def test_result_cache_clear():
+    cache = ResultCache()
+    cache.put(1, (), [((0,), (1,))])
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(1) is None
+
+
+def test_planner_memoizes_answers(built):
+    schema, _table, storage, cache = built
+    planner = CubePlanner(storage, cache)
+    assert planner.results is not None
+    request = QueryRequest.of(CubeNode((0, 1, 0)))
+    first = planner.answer(request)
+    assert len(planner.results) == 1
+    assert planner.answer(request) == first
+    assert planner.results.stats.hits == 1
+
+
+def test_planner_bypasses_result_cache_when_profiling(built):
+    schema, _table, storage, cache = built
+    planner = CubePlanner(storage, cache)
+    request = QueryRequest.of(CubeNode((0, 1, 0)))
+    stats = QueryStats()
+    planner.answer(request, stats)
+    # Profiling runs must measure real work: nothing cached, nothing read.
+    assert len(planner.results) == 0
+    assert planner.results.stats.hits == planner.results.stats.misses == 0
+    assert stats.tuples_returned > 0
+
+
+# -- batched fact fetches -----------------------------------------------------
+
+
+def test_fetch_batch_matches_fetch_many_table(built):
+    schema, table, _storage, cache = built
+    rowids = [5, 1, 1, 7, 0]
+    cache.stats.reset()
+    rows = cache.fetch_many(rowids)
+    many_stats = (cache.stats.hits, cache.stats.misses)
+    cache.stats.reset()
+    batch = cache.fetch_batch(rowids)
+    assert batch.to_rows() == rows
+    assert (cache.stats.hits, cache.stats.misses) == many_stats
+
+
+def test_fetch_batch_matches_fetch_many_heap(tmp_path, paper_schema):
+    from repro import Engine
+    from repro.relational.catalog import Catalog
+    from repro.relational.memory import MemoryManager
+
+    rng = random.Random(5)
+    rows = [
+        (rng.randrange(12), rng.randrange(8), rng.randrange(5),
+         rng.randrange(20))
+        for _ in range(50)
+    ]
+    engine = Engine(Catalog(tmp_path / "c"), MemoryManager())
+    heap = engine.store_table("fact", Table(paper_schema.fact_schema, rows))
+    cold = FactCache(paper_schema, heap=heap, fraction=0.5)
+    for sorted_hint, rowids in ((False, [9, 3, 3, 40]), (True, [2, 8, 30])):
+        cold.stats.reset()
+        expected = cold.fetch_many(list(rowids), sorted_hint=sorted_hint)
+        many_stats = (cold.stats.hits, cold.stats.misses)
+        cold.stats.reset()
+        batch = cold.fetch_batch(
+            np.asarray(rowids, dtype=np.int64), sorted_hint=sorted_hint
+        )
+        assert batch.to_rows() == expected
+        assert (cold.stats.hits, cold.stats.misses) == many_stats
+    engine.close()
