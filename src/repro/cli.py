@@ -178,10 +178,9 @@ def cmd_query(args) -> int:
         node = _parse_group_by(schema, args.group_by)
         slices = _parse_where(schema, bundle, args.where, node)
         cache = bundle.fact_cache(fraction=args.cache)
-        answer = answer_cure_sliced(
-            bundle.storage, cache, node, slices, indices=None
+        answer = sorted(
+            answer_cure_sliced(bundle.storage, cache, node, slices, indices=None)
         )
-        answer.sort()
         grouping = node.grouping_dims(schema.dimensions)
         header = [
             f"{schema.dimensions[d].name}."

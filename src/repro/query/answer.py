@@ -21,10 +21,13 @@ Execution is vectorized by default: stored rows become int64 matrices,
 R-rowids dereference through :meth:`FactCache.fetch_batch` as one
 columnar gather, hierarchy roll-up and singleton aggregates run as whole
 batch kernels (:mod:`repro.query.vector`), and the A-rowid join against
-AGGREGATES is a single fancy-index into the cached matrix view.  The
-original tuple-at-a-time implementations remain behind
-:func:`set_batch_execution` as the reference path — answers and work
-counters are identical either way, which the equivalence tests assert.
+AGGREGATES is a single fancy-index into the cached matrix view.  Batch
+execution returns a :class:`~repro.query.column_answer.ColumnAnswer` —
+no answer tuple ever becomes a Python object.  The original
+tuple-at-a-time implementations remain behind :func:`set_batch_execution`
+as the reference path and still produce the legacy tuple-pair ``Answer``
+shape; ``ColumnAnswer.to_pairs()`` bridges the two, and the differential
+tests assert identical answers *and* identical work counters either way.
 """
 
 from __future__ import annotations
@@ -40,14 +43,18 @@ from repro.core.storage import CatFormat, CubeStorage
 from repro.lattice.node import CubeNode
 from repro.lattice.plan import plan_ancestors
 from repro.query.cache import FactCache
+from repro.query.column_answer import ColumnAnswer
 from repro.query.vector import (
-    extend_answer,
     project_fact_dims,
     singleton_aggregates,
 )
 from repro.relational.aggregates import aggregate_singleton
 
 Answer = list[tuple[tuple[int, ...], tuple[int, ...]]]
+
+#: What the query entry points return: columnar under batch execution,
+#: legacy tuple pairs on the row-execution reference path.
+AnyAnswer = ColumnAnswer | Answer
 
 _BATCH_EXECUTION = True
 
@@ -92,15 +99,18 @@ def answer_cure_query(
     cache: FactCache,
     node: CubeNode,
     stats: QueryStats | None = None,
-) -> Answer:
+) -> AnyAnswer:
     """Answer one node query over a CURE(-family) cube."""
     schema = storage.schema
     node_id = schema.node_id(node)
-    answer: Answer = []
     if _BATCH_EXECUTION:
-        for dims, aggregates in node_matrix_parts(storage, cache, node, stats):
-            extend_answer(answer, dims, aggregates)
+        answer: AnyAnswer = ColumnAnswer.from_parts(
+            len(node.grouping_dims(schema.dimensions)),
+            schema.n_aggregates,
+            node_matrix_parts(storage, cache, node, stats),
+        )
     else:
+        answer = []
         store = storage.get_node_store(node_id)
         if store is not None:
             _append_nts(schema, storage, cache, node, store, answer, stats)
@@ -116,10 +126,10 @@ def node_matrix_parts(storage, cache, node, stats=None):
 
     The vectorized execution core: one aligned ``(dims, aggregates)``
     int64 matrix pair per contributing relation (NT, CAT, then shared
-    TTs).  :func:`answer_cure_query` materializes the pairs into tuple
-    answers; the sliced path masks them in matrix space first, so
-    filtered-out rows never become Python objects.  ``rows_scanned`` and
-    ``fact_fetches`` update exactly as the row path does;
+    TTs).  :func:`answer_cure_query` stitches the parts into one
+    :class:`ColumnAnswer`; the sliced path masks them in matrix space
+    first, so filtered-out rows never exist anywhere.  ``rows_scanned``
+    and ``fact_fetches`` update exactly as the row path does;
     ``tuples_returned`` is left to the caller.
     """
     schema = storage.schema
@@ -337,7 +347,7 @@ def _tt_parts(schema, storage, cache, node, stats):
 
 def answer_buc_query(
     cube: BucCube, node: CubeNode, stats: QueryStats | None = None
-) -> Answer:
+) -> AnyAnswer:
     """Answer one node query over a BUC cube (direct per-node read)."""
     if not cube.materialized:
         raise ValueError("cannot query an analytically-sized BUC cube")
@@ -345,7 +355,16 @@ def answer_buc_query(
     y = schema.n_aggregates
     rows = cube.node_rows(schema.node_id(node))
     arity = len(node.grouping_dims(schema.dimensions))
-    answer = [(row[:arity], row[arity : arity + y]) for row in rows]
+    if _BATCH_EXECUTION:
+        if rows:
+            matrix = np.asarray(rows, dtype=np.int64)
+            answer: AnyAnswer = ColumnAnswer(
+                arity, y, matrix[:, :arity], matrix[:, arity : arity + y]
+            )
+        else:
+            answer = ColumnAnswer.empty(arity, y)
+    else:
+        answer = [(row[:arity], row[arity : arity + y]) for row in rows]
     if stats is not None:
         stats.rows_scanned += len(rows)
         stats.tuples_returned += len(answer)
@@ -357,8 +376,13 @@ def answer_buc_query(
 
 def answer_bubst_query(
     cube: BuBstCube, node: CubeNode, stats: QueryStats | None = None
-) -> Answer:
-    """Answer one node query over a BU-BST cube (full monolithic scan)."""
+) -> AnyAnswer:
+    """Answer one node query over a BU-BST cube (full monolithic scan).
+
+    The scan itself is inherently row-at-a-time (heterogeneous BST/exact
+    rows); under batch execution only the kept rows are bridged into a
+    :class:`ColumnAnswer` at the end.
+    """
     schema = cube.schema
     node_id = schema.node_id(node)
     grouping = node.grouping_dims(schema.dimensions)
@@ -367,17 +391,22 @@ def answer_bubst_query(
         for source in [node]
         + plan_ancestors(schema.lattice, node, flat=True)
     }
-    answer: Answer = []
+    pairs: Answer = []
     for row in cube.rows:
         if stats is not None:
             stats.rows_scanned += 1
         if row.is_bst:
             if row.node_id in sharing_ids:
                 dims = tuple(row.dims[d] for d in grouping)
-                answer.append((dims, row.aggregates))
+                pairs.append((dims, row.aggregates))
         elif row.node_id == node_id:
             dims = tuple(row.dims[d] for d in grouping)
-            answer.append((dims, row.aggregates))
+            pairs.append((dims, row.aggregates))
+    answer: AnyAnswer = pairs
+    if _BATCH_EXECUTION:
+        answer = ColumnAnswer.from_pairs(
+            pairs, len(grouping), schema.n_aggregates
+        )
     if stats is not None:
         stats.tuples_returned += len(answer)
     return answer
@@ -405,6 +434,19 @@ def reference_group_by(
     return sorted(groups.items())
 
 
-def normalize_answer(answer: Answer) -> Answer:
-    """Sort an answer for comparison (formats return arbitrary orders)."""
+def answer_pairs(answer: AnyAnswer) -> Answer:
+    """Any answer flavor as legacy tuple pairs, preserving row order."""
+    if isinstance(answer, ColumnAnswer):
+        return answer.to_pairs()
+    return answer
+
+
+def normalize_answer(answer: AnyAnswer) -> Answer:
+    """An answer as sorted tuple pairs (formats return arbitrary orders).
+
+    Accepts both flavors, so tests can compare any entry point's output —
+    columnar or legacy — against :func:`reference_group_by` directly.
+    """
+    if isinstance(answer, ColumnAnswer):
+        return answer.normalized().to_pairs()
     return sorted(answer)

@@ -12,8 +12,9 @@ serves bulk dereferences as one columnar
 table that is a single fancy-index gather.
 
 :class:`ResultCache` sits one level up: whole materialized node answers,
-stored as ColumnBatches keyed by ``(node, predicate)``, so repeated
-group-by requests skip answering entirely.
+stored as :class:`~repro.query.column_answer.ColumnAnswer` values keyed
+by ``(node, predicate)``, so repeated group-by requests skip answering
+entirely — no tuple re-encoding on either the put or the get side.
 
 The disk-backed source is typed as the structural
 :class:`~repro.relational.batch.RowSource` protocol — the query layer
@@ -29,8 +30,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.model import CubeSchema
+from repro.query.column_answer import ColumnAnswer, Pairs
 from repro.relational.batch import ColumnBatch, RowSource
-from repro.relational.schema import Column, ColumnType, TableSchema
 from repro.relational.table import Table
 
 if TYPE_CHECKING:
@@ -147,59 +148,46 @@ class FactCache:
         return ColumnBatch.from_rows(self.schema.fact_schema, rows)
 
 
-def _result_schema(arity: int, width: int) -> TableSchema:
-    """Schema for a cached answer: grouping codes then aggregate values."""
-    columns = [Column(f"g_{i}", ColumnType.INT64) for i in range(arity)]
-    columns += [
-        Column(f"a_{i}", ColumnType.INT64) for i in range(width - arity)
-    ]
-    return TableSchema(tuple(columns))
-
-
 @dataclass
 class ResultCache:
-    """Materialized node answers, cached as columnar batches.
+    """Materialized node answers, cached as :class:`ColumnAnswer` values.
 
     Keys are ``(node_id, slices)`` — the node plus the request's member
-    predicates.  Each entry holds the answer's dimension and aggregate
-    values as one :class:`ColumnBatch` (grouping columns, then aggregate
-    columns); decoding rebuilds the tuple-pair answer shape on demand.
-    Entries evict FIFO beyond ``max_entries``.
+    predicates.  Each entry holds the answer's aligned dims/aggregates
+    matrices directly; a columnar producer pays zero encode cost and a
+    columnar consumer zero decode cost, while the legacy pair shape
+    bridges through :meth:`ColumnAnswer.from_pairs` on put.  Entries
+    evict FIFO beyond ``max_entries``.
     """
 
     max_entries: int = 128
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: dict[
-        tuple[int, tuple[DimensionSlice, ...]], tuple[ColumnBatch, int]
+        tuple[int, tuple[DimensionSlice, ...]], ColumnAnswer
     ] = field(default_factory=dict, repr=False)
 
     def get(
         self, node_id: int, slices: tuple[DimensionSlice, ...] = ()
-    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]] | None:
+    ) -> ColumnAnswer | None:
         entry = self._entries.get((node_id, slices))
         if entry is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        batch, arity = entry
-        return [
-            (row[:arity], row[arity:]) for row in batch.to_rows()
-        ]
+        return entry
 
     def put(
         self,
         node_id: int,
         slices: tuple[DimensionSlice, ...],
-        answer: list[tuple[tuple[int, ...], tuple[int, ...]]],
+        answer: ColumnAnswer | Pairs,
     ) -> None:
         key = (node_id, slices)
         while len(self._entries) >= self.max_entries and key not in self._entries:
             self._entries.pop(next(iter(self._entries)))
-        arity = len(answer[0][0]) if answer else 0
-        width = arity + (len(answer[0][1]) if answer else 0)
-        rows = [dims + aggregates for dims, aggregates in answer]
-        batch = ColumnBatch.from_rows(_result_schema(arity, width), rows)
-        self._entries[key] = (batch, arity)
+        if not isinstance(answer, ColumnAnswer):
+            answer = ColumnAnswer.from_pairs(answer)
+        self._entries[key] = answer
 
     def clear(self) -> None:
         self._entries.clear()

@@ -21,13 +21,15 @@ from repro.core.storage import CatFormat, CubeStorage
 from repro.lattice.node import CubeNode
 from repro.query.answer import (
     Answer,
+    AnyAnswer,
     QueryStats,
     answer_bubst_query,
     answer_buc_query,
     batch_execution_enabled,
 )
 from repro.query.cache import FactCache
-from repro.query.vector import extend_answer, project_fact_dims
+from repro.query.column_answer import ColumnAnswer
+from repro.query.vector import project_fact_dims
 
 
 def _require_count_index(schema) -> int:
@@ -45,7 +47,7 @@ def iceberg_over_cure(
     node: CubeNode,
     min_count: int,
     stats: QueryStats | None = None,
-) -> Answer:
+) -> AnyAnswer:
     """Iceberg query over CURE: TT relations are skipped entirely."""
     schema = storage.schema
     count_index = _require_count_index(schema)
@@ -53,14 +55,14 @@ def iceberg_over_cure(
         from repro.query.answer import answer_cure_query
 
         return answer_cure_query(storage, cache, node, stats)
-    answer: Answer = []
-    store = storage.get_node_store(schema.node_id(node))
-    if store is None:
-        return answer
     if batch_execution_enabled():
         return _iceberg_cure_batch(
             storage, cache, node, min_count, count_index, stats
         )
+    answer: Answer = []
+    store = storage.get_node_store(schema.node_id(node))
+    if store is None:
+        return answer
     y = schema.n_aggregates
     # NTs: filter on the stored count before paying any fact fetch.
     if storage.dr_mode:
@@ -126,24 +128,24 @@ def _iceberg_cure_batch(
     min_count: int,
     count_index: int,
     stats: QueryStats | None,
-) -> Answer:
+) -> ColumnAnswer:
     """Vectorized iceberg: count masks over NT/CAT matrices, TTs skipped."""
     schema = storage.schema
     y = schema.n_aggregates
-    answer: Answer = []
+    arity = len(node.grouping_dims(schema.dimensions))
     store = storage.get_node_store(schema.node_id(node))
     if store is None:
-        return answer
+        return ColumnAnswer.empty(arity, y)
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
     # NTs: filter on the stored count before paying any fact fetch.
     if storage.dr_mode:
         if store.nt_rows:
-            arity = len(node.grouping_dims(schema.dimensions))
             nt = store.nt_matrix()
             aggregates = nt[:, arity : arity + y]
             passing = aggregates[:, count_index] >= min_count
             if stats is not None:
                 stats.rows_scanned += len(nt)
-            extend_answer(answer, nt[passing, :arity], aggregates[passing])
+            parts.append((nt[passing, :arity], aggregates[passing]))
     elif store.nt_rows:
         nt = store.nt_matrix()
         passing = nt[nt[:, 1 + count_index] >= min_count]
@@ -154,7 +156,7 @@ def _iceberg_cure_batch(
             passing[:, 0], sorted_hint=storage.plus_processed
         )
         dims = project_fact_dims(schema, fact, node)
-        extend_answer(answer, dims, passing[:, 1 : 1 + y])
+        parts.append((dims, passing[:, 1 : 1 + y]))
     # CATs: the aggregate vector lives in AGGREGATES; filter there.
     if storage.cat_format is CatFormat.COMMON_SOURCE:
         if store.cat_bitmap is not None:
@@ -173,7 +175,7 @@ def _iceberg_cure_batch(
                 stats.fact_fetches += len(entries)
             fact = cache.fetch_batch(entries[:, 0])
             dims = project_fact_dims(schema, fact, node)
-            extend_answer(answer, dims, entries[:, 1 : 1 + y])
+            parts.append((dims, entries[:, 1 : 1 + y]))
     elif store.cat_rows:
         cat = store.cat_matrix()
         aggregates = storage.aggregates_matrix()[cat[:, 1]]
@@ -183,7 +185,8 @@ def _iceberg_cure_batch(
             stats.fact_fetches += int(passing.sum())
         fact = cache.fetch_batch(cat[passing, 0])
         dims = project_fact_dims(schema, fact, node)
-        extend_answer(answer, dims, aggregates[passing])
+        parts.append((dims, aggregates[passing]))
+    answer = ColumnAnswer.from_parts(arity, y, parts)
     if stats is not None:
         stats.tuples_returned += len(answer)
     return answer
@@ -194,10 +197,12 @@ def iceberg_over_buc(
     node: CubeNode,
     min_count: int,
     stats: QueryStats | None = None,
-) -> Answer:
+) -> AnyAnswer:
     """Iceberg query over BUC: read the node, then filter every tuple."""
     count_index = _require_count_index(cube.schema)
     full = answer_buc_query(cube, node, stats)
+    if isinstance(full, ColumnAnswer):
+        return full.filter(full.aggregates[:, count_index] >= min_count)
     return [
         (dims, aggregates)
         for dims, aggregates in full
@@ -210,10 +215,12 @@ def iceberg_over_bubst(
     node: CubeNode,
     min_count: int,
     stats: QueryStats | None = None,
-) -> Answer:
+) -> AnyAnswer:
     """Iceberg query over BU-BST: full monolithic scan, then filter."""
     count_index = _require_count_index(cube.schema)
     full = answer_bubst_query(cube, node, stats)
+    if isinstance(full, ColumnAnswer):
+        return full.filter(full.aggregates[:, count_index] >= min_count)
     return [
         (dims, aggregates)
         for dims, aggregates in full

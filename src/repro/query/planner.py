@@ -18,27 +18,38 @@ tuples that will be touched), which the planner also uses as its cost
 signal.
 
 Answers are memoized in a :class:`~repro.query.cache.ResultCache` keyed
-by ``(node, slices)`` — repeated requests decode the cached columnar
-batch instead of re-answering.  The cache is bypassed whenever the
-caller passes a ``stats`` object, since instrumented runs exist to
-measure the underlying work.
+by ``(node, slices)`` — repeated requests reuse the cached
+:class:`~repro.query.column_answer.ColumnAnswer` instead of
+re-answering (bridged back to pairs only on the row-execution path).
+The cache is bypassed whenever the caller passes a ``stats`` object,
+since instrumented runs exist to measure the underlying work; after
+incremental maintenance, call :meth:`CubePlanner.invalidate_results`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.storage import CubeStorage
 from repro.lattice.node import CubeNode
 from repro.query.answer import (
-    Answer,
+    AnyAnswer,
     QueryStats,
     answer_cure_query,
+    batch_execution_enabled,
     tt_source_nodes,
 )
 from repro.query.cache import FactCache, ResultCache
+from repro.query.column_answer import ColumnAnswer
 from repro.query.rollup import base_node_of, rollup_base_answer
-from repro.query.slice import DimensionSlice, answer_cure_sliced, slice_predicate
+from repro.query.slice import (
+    DimensionSlice,
+    answer_cure_sliced,
+    slice_mask,
+    slice_predicate,
+)
 from repro.relational.index import InvertedIndex
 
 
@@ -128,21 +139,33 @@ class CubePlanner:
 
     def answer(
         self, request: QueryRequest, stats: QueryStats | None = None
-    ) -> Answer:
+    ) -> AnyAnswer:
         results = self.results if stats is None else None
         node_id = self.storage.schema.node_id(request.node)
         if results is not None:
             cached = results.get(node_id, request.slices)
             if cached is not None:
-                return cached
+                if batch_execution_enabled():
+                    return cached
+                return cached.to_pairs()
         answer = self._execute(request, stats)
         if results is not None:
             results.put(node_id, request.slices, answer)
         return answer
 
+    def invalidate_results(self) -> None:
+        """Drop every memoized answer (call after incremental maintenance).
+
+        An appended delta can touch *every* node's answer (each new fact
+        contributes to all 2^n groupings), so whole-cache invalidation is
+        the correct granularity, not a per-node one.
+        """
+        if self.results is not None:
+            self.results.clear()
+
     def _execute(
         self, request: QueryRequest, stats: QueryStats | None
-    ) -> Answer:
+    ) -> AnyAnswer:
         plan = self.plan(request)
         if plan.strategy == "direct":
             return answer_cure_query(
@@ -157,6 +180,15 @@ class CubePlanner:
             )
             if not request.slices:
                 return rolled
+            if isinstance(rolled, ColumnAnswer):
+                return rolled.filter(
+                    slice_mask(
+                        self.storage.schema,
+                        request.node,
+                        request.slices,
+                        rolled.dims,
+                    )
+                )
             accepts = slice_predicate(
                 self.storage.schema, request.node, request.slices
             )
@@ -181,10 +213,20 @@ class CubePlanner:
 def build_indices(
     schema, fact_rows: list[tuple]
 ) -> dict[int, InvertedIndex]:
-    """Inverted indices over every dimension column of a fact table."""
+    """Inverted indices over every dimension column of a fact table.
+
+    The columns transpose once; each dimension's index then builds with
+    the CSR ``bincount``/``argsort`` kernels — no per-row Python loop.
+    """
+    if not fact_rows:
+        return {
+            d: InvertedIndex.build((), schema.dimensions[d].base_cardinality)
+            for d in range(schema.n_dimensions)
+        }
+    columns = list(zip(*fact_rows))
     return {
         d: InvertedIndex.build(
-            [row[d] for row in fact_rows],
+            np.fromiter(columns[d], dtype=np.int64, count=len(fact_rows)),
             schema.dimensions[d].base_cardinality,
         )
         for d in range(schema.n_dimensions)

@@ -23,15 +23,15 @@ from repro.core.model import CubeSchema
 from repro.core.storage import CubeStorage
 from repro.lattice.node import CubeNode
 from repro.query.answer import (
-    Answer,
+    AnyAnswer,
     QueryStats,
     answer_bubst_query,
     answer_buc_query,
     answer_cure_query,
-    batch_execution_enabled,
 )
 from repro.query.cache import FactCache
-from repro.query.vector import extend_answer, level_map
+from repro.query.column_answer import ColumnAnswer
+from repro.query.vector import level_map
 
 
 def base_node_of(schema: CubeSchema, node: CubeNode) -> CubeNode:
@@ -46,14 +46,16 @@ def base_node_of(schema: CubeSchema, node: CubeNode) -> CubeNode:
 
 
 def rollup_base_answer(
-    schema: CubeSchema, base_answer: Answer, node: CubeNode
-) -> Answer:
+    schema: CubeSchema, base_answer: AnyAnswer, node: CubeNode
+) -> AnyAnswer:
     """Re-aggregate a base-level node answer up to ``node``'s levels.
 
-    The vectorized default rolls every tuple's codes up through the
-    cached :func:`~repro.query.vector.level_map` arrays, group-sorts via
-    ``np.lexsort``, and merges each aggregate column with its function's
-    segmented ``ufunc.reduceat`` — the batch dual of pairwise ``merge``.
+    A columnar base answer is rolled entirely in array space: grouping
+    codes map up through the cached :func:`~repro.query.vector.level_map`
+    arrays, groups sort via ``np.lexsort``, and each aggregate column
+    merges with its function's segmented ``ufunc.reduceat`` — the batch
+    dual of pairwise ``merge``.  A legacy pair list keeps the dict-merge
+    reference implementation.
     """
     if not schema.all_distributive:
         raise ValueError(
@@ -61,8 +63,8 @@ def rollup_base_answer(
             "aggregate cannot be recomputed from base-level partials"
         )
     grouping = node.grouping_dims(schema.dimensions)
-    if base_answer and grouping and batch_execution_enabled():
-        return _rollup_base_answer_batch(schema, base_answer, node, grouping)
+    if isinstance(base_answer, ColumnAnswer):
+        return _rollup_column_answer(schema, base_answer, node, grouping)
     groups: dict[tuple[int, ...], tuple[int, ...]] = {}
     for dims, aggregates in base_answer:
         rolled = tuple(
@@ -80,33 +82,39 @@ def rollup_base_answer(
     return list(groups.items())
 
 
-def _rollup_base_answer_batch(
+def _rollup_column_answer(
     schema: CubeSchema,
-    base_answer: Answer,
+    base_answer: ColumnAnswer,
     node: CubeNode,
     grouping: tuple[int, ...],
-) -> Answer:
-    """Lexsort + reduceat re-aggregation of a non-empty base answer."""
-    dims = np.asarray([pair[0] for pair in base_answer], dtype=np.int64)
-    aggregates = np.asarray([pair[1] for pair in base_answer], dtype=np.int64)
-    rolled = np.empty_like(dims)
+) -> ColumnAnswer:
+    """Lexsort + reduceat re-aggregation, columnar end to end."""
+    y = schema.n_aggregates
+    if not len(base_answer):
+        return ColumnAnswer.empty(len(grouping), y)
+    rolled = np.empty_like(base_answer.dims)
     for i, dim in enumerate(grouping):
         level = node.levels[dim]
-        column = dims[:, i]
+        column = base_answer.dims[:, i]
         if level == 0:
             rolled[:, i] = column
         else:
             rolled[:, i] = level_map(schema.dimensions[dim], level)[column]
-    order = np.lexsort(tuple(rolled[:, i] for i in reversed(range(len(grouping)))))
-    keys = rolled[order]
-    changed = np.any(keys[1:] != keys[:-1], axis=1)
-    starts = np.concatenate(
-        (np.zeros(1, dtype=np.int64), np.flatnonzero(changed) + 1)
-    )
-    sorted_aggregates = aggregates[order]
-    merged = np.empty(
-        (len(starts), len(schema.aggregates)), dtype=np.int64
-    )
+    if grouping:
+        order = np.lexsort(
+            tuple(rolled[:, i] for i in reversed(range(len(grouping))))
+        )
+        keys = rolled[order]
+        changed = np.any(keys[1:] != keys[:-1], axis=1)
+        starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.flatnonzero(changed) + 1)
+        )
+    else:  # grand total: every base tuple folds into the single group
+        order = np.arange(len(base_answer), dtype=np.int64)
+        keys = rolled
+        starts = np.zeros(1, dtype=np.int64)
+    sorted_aggregates = base_answer.aggregates[order]
+    merged = np.empty((len(starts), y), dtype=np.int64)
     for j, spec in enumerate(schema.aggregates):
         ufunc = spec.function.ufunc
         if ufunc is None:  # pragma: no cover - all_distributive guards this
@@ -114,9 +122,7 @@ def _rollup_base_answer_batch(
                 f"aggregate {spec.name!r} lacks a segmented merge kernel"
             )
         merged[:, j] = ufunc.reduceat(sorted_aggregates[:, j], starts)
-    answer: Answer = []
-    extend_answer(answer, keys[starts], merged)
-    return answer
+    return ColumnAnswer(len(grouping), y, keys[starts], merged)
 
 
 def answer_rollup_from_flat(
@@ -124,7 +130,7 @@ def answer_rollup_from_flat(
     cache: FactCache,
     node: CubeNode,
     stats: QueryStats | None = None,
-) -> Answer:
+) -> AnyAnswer:
     """Answer a hierarchical node query from a flat CURE (FCURE) cube."""
     schema = storage.schema
     base = base_node_of(schema, node)
@@ -136,7 +142,7 @@ def answer_rollup_from_flat(
 
 def answer_rollup_from_buc(
     cube: BucCube, node: CubeNode, stats: QueryStats | None = None
-) -> Answer:
+) -> AnyAnswer:
     """Answer a hierarchical node query from a (flat) BUC cube."""
     base = base_node_of(cube.schema, node)
     base_answer = answer_buc_query(cube, base, stats)
@@ -147,7 +153,7 @@ def answer_rollup_from_buc(
 
 def answer_rollup_from_bubst(
     cube: BuBstCube, node: CubeNode, stats: QueryStats | None = None
-) -> Answer:
+) -> AnyAnswer:
     """Answer a hierarchical node query from a (flat) BU-BST cube."""
     base = base_node_of(cube.schema, node)
     base_answer = answer_bubst_query(cube, base, stats)

@@ -16,13 +16,18 @@ both halves:
   all share the grouping dimensions' values, so one membership test
   decides the whole tuple.
 
-The pre-filtered path runs vectorized by default: row-id membership is
-one ``np.isin`` against the sorted allowed array per relation, and the
-surviving rows dereference/project through the same batch kernels as
+The pre-filtered path runs vectorized by default: the allowed row-id set
+comes out of the CSR-backed index as one sorted array
+(:func:`allowed_rowid_array`), each relation's row-ids test membership
+through one ``searchsorted`` kernel
+(:func:`~repro.relational.index.membership_mask`), and the surviving rows
+dereference/project through the same batch kernels as
 :mod:`repro.query.answer` (whose :func:`set_batch_execution` switch also
-governs this module).  Post-filtering compiles each slice to its set of
-accepted node-level codes once (:func:`slice_predicate`), replacing the
-per-tuple base-representative search.
+governs this module), producing a
+:class:`~repro.query.column_answer.ColumnAnswer` with no per-tuple Python
+work.  Post-filtering compiles each slice to its set of accepted
+node-level codes once (:func:`slice_predicate`), replacing the per-tuple
+base-representative search.
 """
 
 from __future__ import annotations
@@ -36,19 +41,25 @@ from repro.core.storage import CatFormat, CubeStorage
 from repro.lattice.node import CubeNode
 from repro.query.answer import (
     Answer,
+    AnyAnswer,
     QueryStats,
     batch_execution_enabled,
     tt_source_nodes,
 )
 from repro.query.cache import FactCache
+from repro.query.column_answer import ColumnAnswer
 from repro.query.vector import (
-    extend_answer,
+    level_map,
     project_fact_dims,
     singleton_aggregates,
     sorted_id_array,
 )
 from repro.relational.aggregates import aggregate_singleton
-from repro.relational.index import InvertedIndex
+from repro.relational.index import (
+    InvertedIndex,
+    intersect_sorted,
+    membership_mask,
+)
 
 
 @dataclass(frozen=True)
@@ -91,17 +102,49 @@ def _accepted_base_codes(schema, item: DimensionSlice) -> set[int]:
     }
 
 
+def _accepted_base_code_array(schema, item: DimensionSlice) -> np.ndarray:
+    """Ascending base-level codes whose ``item.level`` image is accepted.
+
+    The vectorized dual of :func:`_accepted_base_codes`: one lookup into
+    the cached :func:`~repro.query.vector.level_map` array instead of a
+    per-code ``code_at`` loop.
+    """
+    dimension = schema.dimensions[item.dim]
+    members = np.fromiter(item.members, dtype=np.int64)
+    members = members[(members >= 0) & (members < dimension.cardinality(item.level))]
+    if item.level == 0:
+        return np.sort(members)
+    images = level_map(dimension, item.level)
+    mask = np.zeros(dimension.cardinality(item.level), dtype=np.bool_)
+    mask[members] = True
+    return np.flatnonzero(mask[images]).astype(np.int64, copy=False)
+
+
+def allowed_rowid_array(
+    schema, slices, indices: dict[int, InvertedIndex]
+) -> np.ndarray:
+    """Fact row-ids satisfying every slice, as one ascending int64 array.
+
+    Per slice: compile the accepted base codes, pull their union posting
+    out of the CSR index, then intersect across slices — all as sorted
+    array kernels.
+    """
+    allowed: np.ndarray | None = None
+    for item in slices:
+        index = indices[item.dim]
+        codes = _accepted_base_code_array(schema, item)
+        rowids = index.rowids_for_members(codes)
+        allowed = (
+            rowids if allowed is None else intersect_sorted(allowed, rowids)
+        )
+    return allowed if allowed is not None else np.empty(0, dtype=np.int64)
+
+
 def allowed_rowids(
     schema, slices, indices: dict[int, InvertedIndex]
 ) -> set[int]:
-    """Fact row-ids satisfying every slice, from the inverted indices."""
-    allowed: set[int] | None = None
-    for item in slices:
-        index = indices[item.dim]
-        codes = _accepted_base_codes(schema, item)
-        rowids = set(index.rowids_for_members(codes))
-        allowed = rowids if allowed is None else (allowed & rowids)
-    return allowed if allowed is not None else set()
+    """:func:`allowed_rowid_array` as a Python set (the row-path bridge)."""
+    return set(allowed_rowid_array(schema, slices, indices).tolist())
 
 
 def answer_cure_sliced(
@@ -111,7 +154,7 @@ def answer_cure_sliced(
     slices: list[DimensionSlice],
     indices: dict[int, InvertedIndex] | None = None,
     stats: QueryStats | None = None,
-) -> Answer:
+) -> AnyAnswer:
     """Answer a node query under dimension slices.
 
     ``indices`` maps dimension index → fact-table inverted index (base
@@ -129,7 +172,7 @@ def answer_cure_sliced(
         missing = [s.dim for s in slices if s.dim not in indices]
         if missing:
             raise KeyError(f"no inverted index for dimensions {missing}")
-        allowed = allowed_rowids(schema, slices, indices)
+        allowed = allowed_rowid_array(schema, slices, indices)
         return _answer_prefiltered(storage, cache, node, allowed, stats)
     return _answer_postfiltered(storage, cache, node, slices, stats)
 
@@ -170,6 +213,17 @@ def slice_predicate(
     return accepts
 
 
+def slice_mask(schema, node: CubeNode, slices, dims: np.ndarray) -> np.ndarray:
+    """Boolean mask over an answer's ``dims`` matrix: rows passing every slice.
+
+    The vectorized dual of :func:`slice_predicate` for columnar answers.
+    """
+    mask = np.ones(len(dims), dtype=np.bool_)
+    for position, accepted in _compiled_slice_tests(schema, node, slices):
+        mask &= membership_mask(dims[:, position], sorted_id_array(accepted))
+    return mask
+
+
 def _matches(schema, node, slices, dims: tuple[int, ...]) -> bool:
     grouping = node.grouping_dims(schema.dimensions)
     position_of = {dim: i for i, dim in enumerate(grouping)}
@@ -202,22 +256,22 @@ def _roll_between(dimension, code: int, from_level: int, to_level: int) -> int:
     )
 
 
-def _answer_postfiltered(storage, cache, node, slices, stats) -> Answer:
+def _answer_postfiltered(storage, cache, node, slices, stats) -> AnyAnswer:
     from repro.query.answer import answer_cure_query, node_matrix_parts
 
     schema = storage.schema
     if batch_execution_enabled():
-        # Mask each relation's matrices before materializing tuples, so
-        # filtered-out rows never become Python objects.  The row path
-        # counts every computed tuple in ``tuples_returned`` before
-        # filtering; mirror that with the unmasked totals.
+        # Mask each relation's matrices as they stream out of the
+        # answering core, so filtered-out rows never exist anywhere.
+        # The row path counts every computed tuple in ``tuples_returned``
+        # before filtering; mirror that with the unmasked totals.
         tests = [
             (position, sorted_id_array(accepted))
             for position, accepted in _compiled_slice_tests(
                 schema, node, slices
             )
         ]
-        answer: Answer = []
+        parts = []
         computed = 0
         for dims, aggregates in node_matrix_parts(
             storage, cache, node, stats
@@ -225,11 +279,15 @@ def _answer_postfiltered(storage, cache, node, slices, stats) -> Answer:
             computed += len(dims)
             mask = np.ones(len(dims), dtype=np.bool_)
             for position, accepted in tests:
-                mask &= np.isin(dims[:, position], accepted)
-            extend_answer(answer, dims[mask], aggregates[mask])
+                mask &= membership_mask(dims[:, position], accepted)
+            parts.append((dims[mask], aggregates[mask]))
         if stats is not None:
             stats.tuples_returned += computed
-        return answer
+        return ColumnAnswer.from_parts(
+            len(node.grouping_dims(schema.dimensions)),
+            schema.n_aggregates,
+            parts,
+        )
     full = answer_cure_query(storage, cache, node, stats)
     accepts = slice_predicate(schema, node, slices)
     return [
@@ -241,14 +299,15 @@ def _answer_prefiltered(
     storage: CubeStorage,
     cache: FactCache,
     node: CubeNode,
-    allowed: set[int],
+    allowed: np.ndarray,
     stats: QueryStats | None,
-) -> Answer:
+) -> AnyAnswer:
     """Index-assisted path: drop row-ids before dereferencing them.
 
     Every stored row-id belongs to the tuple's source group; since all
     group members share the grouping dimensions' values, the stored
-    representative's membership in ``allowed`` decides the whole tuple.
+    representative's membership in ``allowed`` (an ascending row-id
+    array) decides the whole tuple.
     """
     if storage.dr_mode and storage.get_node_store(
         storage.schema.node_id(node)
@@ -259,7 +318,9 @@ def _answer_prefiltered(
         )
     if batch_execution_enabled():
         return _answer_prefiltered_batch(storage, cache, node, allowed, stats)
-    return _answer_prefiltered_rows(storage, cache, node, allowed, stats)
+    return _answer_prefiltered_rows(
+        storage, cache, node, set(allowed.tolist()), stats
+    )
 
 
 def _answer_prefiltered_rows(
@@ -354,19 +415,18 @@ def _answer_prefiltered_batch(
     storage: CubeStorage,
     cache: FactCache,
     node: CubeNode,
-    allowed: set[int],
+    allowed: np.ndarray,
     stats: QueryStats | None,
-) -> Answer:
-    """Vectorized pre-filtering: one ``np.isin`` per relation."""
+) -> ColumnAnswer:
+    """Vectorized pre-filtering: one ``searchsorted`` mask per relation."""
     schema = storage.schema
     y = schema.n_aggregates
-    allowed_array = sorted_id_array(allowed)
-    answer: Answer = []
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
     store = storage.get_node_store(schema.node_id(node))
     if store is not None:
         if store.nt_rows:
             nt = store.nt_matrix()
-            passing = nt[np.isin(nt[:, 0], allowed_array)]
+            passing = nt[membership_mask(nt[:, 0], allowed)]
             if stats is not None:
                 stats.rows_scanned += len(nt)
                 stats.fact_fetches += len(passing)
@@ -374,7 +434,7 @@ def _answer_prefiltered_batch(
                 passing[:, 0], sorted_hint=storage.plus_processed
             )
             dims = project_fact_dims(schema, fact, node)
-            extend_answer(answer, dims, passing[:, 1 : 1 + y])
+            parts.append((dims, passing[:, 1 : 1 + y]))
         elif stats is not None:
             stats.rows_scanned += len(store.nt_rows)
 
@@ -389,7 +449,7 @@ def _answer_prefiltered_batch(
                 arowid_array = np.empty(0, dtype=np.int64)
             if len(arowid_array):
                 entries = storage.aggregates_matrix()[arowid_array]
-                entries = entries[np.isin(entries[:, 0], allowed_array)]
+                entries = entries[membership_mask(entries[:, 0], allowed)]
                 if stats is not None:
                     stats.rows_scanned += len(arowid_array)
                     stats.fact_fetches += len(entries)
@@ -397,19 +457,17 @@ def _answer_prefiltered_batch(
                     entries[:, 0], sorted_hint=storage.plus_processed
                 )
                 dims = project_fact_dims(schema, fact, node)
-                extend_answer(answer, dims, entries[:, 1 : 1 + y])
+                parts.append((dims, entries[:, 1 : 1 + y]))
         elif store.cat_rows:
             cat = store.cat_matrix()
-            passing_cats = cat[np.isin(cat[:, 0], allowed_array)]
+            passing_cats = cat[membership_mask(cat[:, 0], allowed)]
             if stats is not None:
                 stats.rows_scanned += len(cat)
                 stats.fact_fetches += len(passing_cats)
             fact = cache.fetch_batch(passing_cats[:, 0])
             dims = project_fact_dims(schema, fact, node)
-            extend_answer(
-                answer,
-                dims,
-                storage.aggregates_matrix()[passing_cats[:, 1]],
+            parts.append(
+                (dims, storage.aggregates_matrix()[passing_cats[:, 1]])
             )
 
     for source in tt_source_nodes(storage, node):
@@ -422,7 +480,7 @@ def _answer_prefiltered_batch(
         else:
             candidates = tt_store.tt_array()
             total = len(tt_store.tt_rowids)
-        rowids = candidates[np.isin(candidates, allowed_array)]
+        rowids = candidates[membership_mask(candidates, allowed)]
         if stats is not None:
             stats.rows_scanned += total
             stats.fact_fetches += len(rowids)
@@ -430,7 +488,10 @@ def _answer_prefiltered_batch(
             continue
         fact = cache.fetch_batch(np.sort(rowids), sorted_hint=True)
         dims = project_fact_dims(schema, fact, node)
-        extend_answer(answer, dims, singleton_aggregates(schema, fact))
+        parts.append((dims, singleton_aggregates(schema, fact)))
+    answer = ColumnAnswer.from_parts(
+        len(node.grouping_dims(schema.dimensions)), y, parts
+    )
     if stats is not None:
         stats.tuples_returned += len(answer)
     return answer

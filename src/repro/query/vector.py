@@ -1,12 +1,13 @@
 """Vectorized helpers shared by the query-answering layer.
 
 Query answering over the per-node relations of Section 5 is dominated by
-three per-tuple operations: rolling fact dimension codes up to a node's
-levels, forming singleton aggregate vectors for TTs, and copying stored
-aggregate vectors into the answer.  These helpers run each of them as
-one numpy kernel over a whole :class:`~repro.relational.batch.ColumnBatch`
-(or row matrix), then bridge back to the tuple-pair ``Answer`` shape the
-correctness tests compare.
+two per-tuple operations: rolling fact dimension codes up to a node's
+levels and forming singleton aggregate vectors for TTs.  These helpers
+run each of them as one numpy kernel over a whole
+:class:`~repro.relational.batch.ColumnBatch` (or row matrix); the
+resulting matrices feed straight into
+:class:`~repro.query.column_answer.ColumnAnswer` — no tuple-pair bridge
+exists on the batch path.
 
 Hierarchy roll-up maps (``Dimension.base_maps``) are plain tuples on the
 dimension objects; :func:`level_map` caches their array form so the hot
@@ -78,19 +79,9 @@ def singleton_aggregates(
     return np.stack(columns, axis=1)
 
 
-def extend_answer(
-    answer: list[tuple[tuple[int, ...], tuple[int, ...]]],
-    dims: np.ndarray,
-    aggregates: np.ndarray,
-) -> None:
-    """Append aligned (dims, aggregates) matrix rows as answer pairs."""
-    answer.extend(
-        zip(map(tuple, dims.tolist()), map(tuple, aggregates.tolist()))
-    )
-
-
 def sorted_id_array(values: Iterable[int]) -> np.ndarray:
-    """A set/iterable of row-ids as a sorted int64 array (for ``np.isin``)."""
+    """A set/iterable of ids as an ascending int64 array — the universe
+    shape :func:`~repro.relational.index.membership_mask` expects."""
     array = np.fromiter(values, dtype=np.int64)
     array.sort()
     return array

@@ -4,95 +4,170 @@ The paper's Section 5.3 notes that instead of indexing the entire cube —
 expensive in both time and space — CURE can "index just the original fact
 table consuming much cheaper resources", accelerating *selective* queries
 (node queries with range/member predicates).  An :class:`InvertedIndex`
-maps each member code of one dimension column to the sorted list of fact
-row-ids carrying it; intersecting postings with a node's TT/NT row-id sets
-skips non-matching fact fetches entirely.
+maps each member code of one dimension column to the ascending row-ids
+carrying it; intersecting postings with a node's TT/NT row-id sets skips
+non-matching fact fetches entirely.
+
+The layout is CSR-style and array-native (Kaser & Lemire's normalization
+argument: OLAP performance lives and dies on array-backed dimension
+encodings): one ``offsets`` array of ``cardinality + 1`` int64 cursors
+and one ``rowids`` array holding every posted row-id, grouped by member
+code and ascending within each group.  Every query — member lookup,
+member-set union, range scan, intersection, membership filtering — is a
+slice, a ``bincount``/``argsort``, or a ``searchsorted`` kernel; no
+Python-level loop touches individual row-ids.
+
+Clamping semantics (uniform across every lookup): member codes outside
+``[0, cardinality)`` simply hold no rows — :meth:`rowids_for`,
+:meth:`rowids_for_members`, :meth:`count` and :meth:`contains` treat them
+as empty postings, and :meth:`rowids_in_range` clamps its bounds into the
+valid code range (an inverted ``lo > hi`` range is empty).  Only
+:meth:`build` rejects out-of-range codes, because a fact row that cannot
+be posted anywhere would silently vanish from every index-assisted
+answer.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _as_id_array(values: object) -> np.ndarray:
+    """Coerce a row-id collection to a 1-D int64 array."""
+    if isinstance(values, np.ndarray):
+        return values.astype(np.int64, copy=False)
+    return np.fromiter(iter(values), dtype=np.int64)  # type: ignore[call-overload]
 
 
 @dataclass
 class InvertedIndex:
-    """Member code → ascending row-ids, for one dimension column."""
+    """Member code → ascending row-ids, for one dimension column.
+
+    ``offsets[c] : offsets[c + 1]`` delimits member ``c``'s posting
+    inside ``rowids``.  Postings are ascending; ``rowids`` as a whole is
+    grouped by member code, not globally sorted.
+    """
 
     cardinality: int
-    postings: list[list[int]] = field(default_factory=list)
-    _row_count: int = 0
+    offsets: np.ndarray = field(default_factory=lambda: _EMPTY)
+    rowids: np.ndarray = field(default_factory=lambda: _EMPTY)
 
     def __post_init__(self) -> None:
         if self.cardinality < 1:
             raise ValueError("cardinality must be >= 1")
-        if not self.postings:
-            self.postings = [[] for _ in range(self.cardinality)]
+        if not len(self.offsets):
+            self.offsets = np.zeros(self.cardinality + 1, dtype=np.int64)
+        if len(self.offsets) != self.cardinality + 1:
+            raise ValueError(
+                f"offsets must have cardinality + 1 = {self.cardinality + 1} "
+                f"entries, got {len(self.offsets)}"
+            )
+        if self.offsets[-1] != len(self.rowids):
+            raise ValueError(
+                f"offsets end at {self.offsets[-1]} but {len(self.rowids)} "
+                "row-ids are posted"
+            )
 
     @classmethod
     def build(cls, codes: Iterable[int], cardinality: int) -> "InvertedIndex":
-        """Index a column in fact order (row-id = position)."""
-        index = cls(cardinality)
-        for rowid, code in enumerate(codes):
-            index.postings[code].append(rowid)
-        index._row_count = sum(len(p) for p in index.postings)
-        return index
+        """Index a column in fact order (row-id = position).
 
-    def rowids_for(self, code: int) -> list[int]:
+        One ``bincount`` sizes the postings and one stable ``argsort``
+        lays them out grouped-by-code, ascending within each group.
+        """
+        code_array = _as_id_array(codes)
+        if len(code_array) and (
+            code_array.min() < 0 or code_array.max() >= cardinality
+        ):
+            raise ValueError(
+                f"column codes fall outside [0, {cardinality}); such rows "
+                "would vanish from every index-assisted answer"
+            )
+        counts = np.bincount(code_array, minlength=cardinality)
+        offsets = np.zeros(cardinality + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        rowids = np.argsort(code_array, kind="stable").astype(
+            np.int64, copy=False
+        )
+        return cls(cardinality, offsets, rowids)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rowids)
+
+    def rowids_for(self, code: int) -> np.ndarray:
+        """Ascending row-ids of member ``code`` (empty when out of range)."""
         if not 0 <= code < self.cardinality:
-            raise IndexError(f"member code {code} out of range")
-        return self.postings[code]
+            return _EMPTY
+        return self.rowids[self.offsets[code] : self.offsets[code + 1]]
 
-    def rowids_for_members(self, codes: Iterable[int]) -> list[int]:
+    def rowids_for_members(self, codes: Iterable[int]) -> np.ndarray:
         """Ascending row-ids of every row in any of the member codes."""
-        merged: list[int] = []
-        for code in codes:
-            merged.extend(self.rowids_for(code))
-        merged.sort()
-        return merged
+        member = _as_id_array(codes)
+        member = member[(member >= 0) & (member < self.cardinality)]
+        if not len(member):
+            return _EMPTY
+        mask = np.zeros(self.cardinality, dtype=np.bool_)
+        mask[member] = True
+        selected = self.rowids[np.repeat(mask, np.diff(self.offsets))]
+        return np.sort(selected)
 
     def contains(self, code: int, rowid: int) -> bool:
         """Does row ``rowid`` carry member ``code``? (binary search)"""
-        postings = self.rowids_for(code)
-        position = bisect_left(postings, rowid)
-        return position < len(postings) and postings[position] == rowid
+        posting = self.rowids_for(code)
+        position = int(np.searchsorted(posting, rowid))
+        return position < len(posting) and int(posting[position]) == rowid
 
     def count(self, code: int) -> int:
-        return len(self.rowids_for(code))
+        """Posting length of ``code`` (0 when out of range)."""
+        if not 0 <= code < self.cardinality:
+            return 0
+        return int(self.offsets[code + 1] - self.offsets[code])
 
-    def rowids_in_range(self, lo: int, hi: int) -> list[int]:
-        """Row-ids whose member code lies in ``[lo, hi]`` (inclusive)."""
+    def rowids_in_range(self, lo: int, hi: int) -> np.ndarray:
+        """Row-ids whose member code lies in ``[lo, hi]`` (inclusive).
+
+        Bounds clamp into ``[0, cardinality)``; ``lo > hi`` is empty.
+        Contiguous postings make this one slice plus one sort.
+        """
+        lo, hi = max(lo, 0), min(hi, self.cardinality - 1)
         if lo > hi:
-            return []
-        return self.rowids_for_members(
-            range(max(lo, 0), min(hi, self.cardinality - 1) + 1)
-        )
+            return _EMPTY
+        return np.sort(self.rowids[self.offsets[lo] : self.offsets[hi + 1]])
 
     @property
     def size_bytes(self) -> int:
-        """Logical size: 4 bytes per posted row-id."""
-        return 4 * sum(len(p) for p in self.postings)
+        """Logical size: 4 bytes per posted row-id (the paper's rowids)."""
+        return 4 * len(self.rowids)
 
 
-def intersect_sorted(left: list[int], right: list[int]) -> list[int]:
-    """Intersection of two ascending row-id lists."""
-    if len(left) > len(right):
-        left, right = right, left
-    result = []
-    for value in left:
-        position = bisect_left(right, value)
-        if position < len(right) and right[position] == value:
-            result.append(value)
+def membership_mask(values: object, allowed: np.ndarray) -> np.ndarray:
+    """Boolean mask of which ``values`` appear in ascending ``allowed``.
+
+    The searchsorted dual of ``np.isin`` for a pre-sorted universe — the
+    kernel behind every index-assisted pre-filter.
+    """
+    value_array = _as_id_array(values)
+    if not len(allowed):
+        return np.zeros(len(value_array), dtype=np.bool_)
+    positions = np.searchsorted(allowed, value_array)
+    positions = np.minimum(positions, len(allowed) - 1)
+    result: np.ndarray = allowed[positions] == value_array
     return result
 
 
-def filter_sorted(rowids: list[int], allowed: list[int]) -> list[int]:
-    """Keep the entries of ``rowids`` present in ascending ``allowed``."""
-    result = []
-    n = len(allowed)
-    for rowid in rowids:
-        position = bisect_left(allowed, rowid)
-        if position < n and allowed[position] == rowid:
-            result.append(rowid)
-    return result
+def intersect_sorted(left: object, right: object) -> np.ndarray:
+    """Ascending values present in both ascending inputs (deduplicated)."""
+    left_array, right_array = _as_id_array(left), _as_id_array(right)
+    return np.intersect1d(left_array, right_array)
+
+
+def filter_sorted(rowids: object, allowed: object) -> np.ndarray:
+    """Entries of ``rowids`` present in ascending ``allowed``, order kept."""
+    rowid_array = _as_id_array(rowids)
+    return rowid_array[membership_mask(rowid_array, _as_id_array(allowed))]
