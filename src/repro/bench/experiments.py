@@ -755,6 +755,73 @@ def run_pair_partition_ablation(
     return [table_out]
 
 
+# -- ablation: local pair re-partitioning under intra-member skew ---------------------------------
+
+
+def run_skew_repartition(
+    hot_fractions: tuple[float, ...] = (0.0, 0.3, 0.7, 0.9),
+    n_tuples: int = 1_200,
+    pool_capacity: int = 200,
+    partition_allowance_rows: int = 300,
+) -> list[ExperimentTable]:
+    """Intra-member skew vs the adaptive re-partitioning ladder.
+
+    The budget admits the uniform estimate (``T / |A|`` rows per
+    partition) but not a hot member's actual rows.  Dimension 0 is flat,
+    so a hot *base-level* member cannot be split on any finer level — the
+    build must extend partitioning to (A, B) member pairs locally, the
+    case this sweep isolates (``pair_repartitioned`` flips from 0 to 1 as
+    the hot fraction crosses the budget).
+    """
+    from repro.core.signature import SignaturePool
+
+    table_out = ExperimentTable(
+        "Skew re-partitioning",
+        "Hot-member skew vs local pair re-partitioning",
+        ["hot_fraction", "partitions", "repartitioned", "pair_repartitioned",
+         "subpartitions", "peak_KB", "seconds"],
+        notes="flat A(12) x B(8), uniform selection strategy; the hot "
+        "member takes `hot_fraction` of the rows "
+        "(generate_flat_dataset(hot_member_fraction=…))",
+    )
+    for fraction in hot_fractions:
+        schema, fact = generate_flat_dataset(
+            2,
+            n_tuples,
+            zipf=0.0,
+            seed=7,
+            cardinalities=(12, 8),
+            aggregates=(("sum", 0), ("count", 0)),
+            hot_member_fraction=fraction,
+        )
+        budget = SignaturePool.size_bytes(pool_capacity, schema.n_aggregates)
+        budget += (
+            partition_allowance_rows * schema.partition_schema.row_size_bytes
+        )
+        engine = Engine.temporary(memory_budget_bytes=budget)
+        try:
+            engine.store_table("fact", fact)
+            result = build_cube(
+                schema,
+                engine=engine,
+                relation="fact",
+                pool_capacity=pool_capacity,
+                partition_strategy="uniform",
+            )
+            table_out.add(
+                hot_fraction=fraction,
+                partitions=result.stats.partitions_created,
+                repartitioned=result.stats.repartitioned_partitions,
+                pair_repartitioned=result.stats.pair_repartitioned_partitions,
+                subpartitions=result.stats.subpartitions_created,
+                peak_KB=engine.memory.peak_bytes / 1024,
+                seconds=result.stats.elapsed_seconds,
+            )
+        finally:
+            engine.destroy()
+    return [table_out]
+
+
 # -- extension: incremental maintenance vs rebuild --------------------------------------------------
 
 
@@ -902,6 +969,10 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         ExperimentEntry(
             "pairs", "Section 4 (omitted pair case)",
             run_pair_partition_ablation,
+        ),
+        ExperimentEntry(
+            "skew-repartition", "Section 4 + 6 (intra-member skew)",
+            run_skew_repartition,
         ),
         ExperimentEntry(
             "incremental", "Section 8 (future work) extension",

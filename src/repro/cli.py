@@ -65,6 +65,8 @@ def _parse_spec(path: str) -> tuple[list[DimensionSpec], list[MeasureSpec], tupl
 
 
 def cmd_build(args) -> int:
+    from repro.relational.engine import Engine
+
     dimensions, measures, aggregates = _parse_spec(args.spec)
     loaded = load_csv(args.csv, dimensions, measures, aggregates)
     config = VARIANTS[args.variant]
@@ -72,7 +74,15 @@ def cmd_build(args) -> int:
         config = config.with_pool(args.pool)
     if args.min_count > 1:
         config = config.with_min_count(args.min_count)
-    result, _plus = config.build(loaded.schema, table=loaded.table)
+    engine = None
+    if args.memory_budget:
+        engine = Engine.temporary(args.memory_budget)
+        engine.store_table("fact", loaded.table)
+        result, _plus = config.build(
+            loaded.schema, engine=engine, relation="fact"
+        )
+    else:
+        result, _plus = config.build(loaded.schema, table=loaded.table)
     report = result.storage.size_report()
     save_bundle(
         args.out,
@@ -81,11 +91,19 @@ def cmd_build(args) -> int:
         result.storage,
         extra={"variant": args.variant, "source_csv": str(args.csv)},
     )
+    stats = result.stats
     print(f"built {args.variant} cube over {len(loaded.table):,} rows "
-          f"in {result.stats.elapsed_seconds:.2f}s")
+          f"in {stats.elapsed_seconds:.2f}s")
     print(f"  lattice nodes: {loaded.schema.enumerator.n_nodes}")
     print(f"  NT/TT/CAT: {report.n_nt:,}/{report.n_tt:,}/{report.n_cat:,}")
+    if stats.partitioned:
+        print(f"  partitions: {stats.partitions_created} "
+              f"(repartitioned: {stats.repartitioned_partitions}, "
+              f"pair-repartitioned: {stats.pair_repartitioned_partitions}, "
+              f"sub-partitions: {stats.subpartitions_created})")
     print(f"  logical size: {report.total_mb:.3f} MB -> {args.out}")
+    if engine is not None:
+        engine.destroy()
     return 0
 
 
@@ -235,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="signature pool capacity (0 = variant default)")
     build.add_argument("--min-count", type=int, default=1,
                        help="iceberg support threshold")
+    build.add_argument(
+        "--memory-budget", type=int, default=0,
+        help="simulated memory budget in bytes (0 = unbounded, in-memory "
+             "build); a bounded budget exercises the Section 4 external "
+             "partitioning pipeline, including adaptive and local pair "
+             "re-partitioning on skewed inputs",
+    )
     build.set_defaults(handler=cmd_build)
 
     describe = commands.add_parser("describe", help="summarize a cube bundle")

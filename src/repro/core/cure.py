@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.model import CubeSchema
 from repro.core.partition import (
     PairPartitionDecision,
+    PairRepartition,
     PartitionDecision,
     load_coarse_working_set,
     partition_relation,
@@ -64,6 +65,7 @@ class BuildStats:
     partitions_created: int = 0
     partitioned: bool = False
     repartitioned_partitions: int = 0
+    pair_repartitioned_partitions: int = 0
     subpartitions_created: int = 0
     elapsed_seconds: float = 0.0
 
@@ -522,6 +524,10 @@ def process_partition(
     dimension 0 and processed piecewise — sub-partitions cover dimension 0
     at levels ≤ L'', a local coarse node covers (L'', L] — instead of
     aborting the whole build.  Sub-partitions that still overflow recurse.
+    When no finer level of dimension 0 exists (the skew sits inside one
+    base-level member), the split extends to (A_L0, B_M) member pairs
+    locally and the pieces are descended with the pair machinery
+    (:func:`_process_local_pair_split`).
     """
     try:
         loaded = engine.load(name)
@@ -547,6 +553,9 @@ def _process_oversized_partition(
     split = repartition_partition(
         engine, name, schema, level, stats=builder.stats
     )
+    if isinstance(split, PairRepartition):
+        _process_local_pair_split(builder, engine, schema, split, min_count)
+        return
     for sub_name in split.partition_names:
         process_partition(
             builder, engine, schema, sub_name, split.level, min_count
@@ -574,6 +583,73 @@ def _process_oversized_partition(
     finally:
         release_coarse()
     engine.catalog.drop(split.coarse_name)
+
+
+def _process_local_pair_split(
+    builder: CureBuilder,
+    engine: Engine,
+    schema: CubeSchema,
+    split: PairRepartition,
+    min_count: int,
+) -> None:
+    """Descend a locally pair-split partition: pairs, local N1, local N2.
+
+    The three phases mirror :func:`_build_pair_partitioned`, scoped to the
+    parent partition's rows — their union is exactly the node region the
+    parent (sound on ``A_{parent_level}``) was responsible for: nodes
+    containing dimension 0 at levels ≤ ``parent_level``.
+    """
+    # Region P: dims 0 and 1 both present at levels <= (L0, M).
+    for sub_name in split.partition_names:
+        with engine.load(sub_name) as loaded:
+            working = WorkingSet.from_partition_table(schema, loaded)
+            builder.run_partition_pair(working, split.level0, split.level1)
+        engine.catalog.drop(sub_name)
+
+    # Region N1: dimension 0 in (L0, parent_level], any dimension 1.
+    # Skipped when level0 == parent_level — the slice is empty and
+    # re-running it would double-count the pair partitions' nodes.
+    if split.coarse1_name is not None:
+        base_levels = [0] * schema.n_dimensions
+        base_levels[0] = split.level0 + 1
+        n1_shape = HierarchicalShape(schema, tuple(base_levels))
+        n1_builder = CureBuilder(
+            schema,
+            builder.storage,
+            builder.pool,
+            n1_shape,
+            min_count,
+            builder.stats,
+        )
+        coarse1, release1 = load_coarse_working_set(
+            engine, split.coarse1_name, schema
+        )
+        try:
+            n1_builder.run_partition(coarse1, split.parent_level)
+        finally:
+            release1()
+        engine.catalog.drop(split.coarse1_name)
+
+    # Region N2: dimension 0 present <= L0, dimension 1 above M or absent.
+    base_levels = [0] * schema.n_dimensions
+    base_levels[1] = split.level1 + 1
+    n2_shape = HierarchicalShape(schema, tuple(base_levels))
+    n2_builder = CureBuilder(
+        schema,
+        builder.storage,
+        builder.pool,
+        n2_shape,
+        min_count,
+        builder.stats,
+    )
+    coarse2, release2 = load_coarse_working_set(
+        engine, split.coarse2_name, schema
+    )
+    try:
+        n2_builder.run_partition(coarse2, split.level0)
+    finally:
+        release2()
+    engine.catalog.drop(split.coarse2_name)
 
 
 def _build_pair_partitioned(

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.model import AggregateSpec, CubeSchema
 from repro.core.workingset import WorkingSet
+from repro.relational.durable import maybe_fire
 from repro.relational.engine import Engine
 from repro.relational.memory import MemoryBudgetExceeded
 
@@ -49,6 +50,7 @@ class PartitionStats(Protocol):
     fact_write_passes: int
     partitions_created: int
     repartitioned_partitions: int
+    pair_repartitioned_partitions: int
     subpartitions_created: int
 
 
@@ -132,9 +134,11 @@ def select_partition_level(
             )
     raise MemoryBudgetExceeded(
         f"no level of dimension {dimension.name!r} yields memory-sized "
-        f"sound partitions with a coarse node that fits; the paper's "
-        f"extension to dimension pairs is not implemented — increase the "
-        f"budget or reorder dimensions by decreasing cardinality"
+        f"sound partitions with a coarse node that fits; build_cube falls "
+        f"back to partitioning on (A_L, B_M) member pairs "
+        f"(select_partition_pair) — if that fails too, raise the memory "
+        f"budget (MemoryManager(budget_bytes)) or reorder dimensions by "
+        f"decreasing cardinality"
     )
 
 
@@ -417,7 +421,7 @@ def repartition_partition(
     schema: CubeSchema,
     parent_level: int,
     stats: PartitionStats | None = None,
-) -> Repartition:
+) -> Repartition | PairRepartition:
     """Split one over-budget partition at a finer level of dimension 0.
 
     Partition-level selection works from *estimates*; when one
@@ -431,6 +435,14 @@ def repartition_partition(
     sub-partitions (``<partition>.sub<i>``), and persist a local coarse
     node at ``A_{L''+1}`` (``<partition>.coarseN``).  Callers recurse on
     a sub-partition that *still* fails to load.
+
+    When no finer level of dimension 0 exists or helps — the skew lives
+    inside a single base-level member — the paper's pair extension is
+    applied *locally*: a level pair ``(A_L0, B_M)`` sound for just this
+    partition's rows is selected (:func:`select_partition_pair_local`)
+    and the partition is split on member pairs instead
+    (:func:`repartition_relation_pair`), returning a
+    :class:`PairRepartition`.
     """
     heap = engine.relation(partition)
     total_rows = len(heap)
@@ -467,11 +479,17 @@ def repartition_partition(
             )
             break
     if decision is None:
-        raise MemoryBudgetExceeded(
-            f"partition {partition!r} exceeds the memory budget and no "
-            f"finer level of dimension {dimension.name!r} below level "
-            f"{parent_level} yields memory-sized sound sub-partitions"
+        # The skew lives inside a single base-level member of dimension 0
+        # (no finer level can split it): extend partitioning to pairs of
+        # dimensions, scoped to this partition's rows.
+        pair_decision = select_partition_pair_local(
+            engine, partition, schema, parent_level
         )
+        maybe_fire(engine.catalog.faults, f"repartition.pair:{partition}")
+        return repartition_relation_pair(
+            engine, partition, schema, parent_level, pair_decision, stats
+        )
+    maybe_fire(engine.catalog.faults, f"repartition.single:{partition}")
 
     level_map = dimension.base_maps[decision.level]
     assignment = _bin_members(decision, partition_row_bytes)
@@ -579,7 +597,6 @@ def select_partition_pair(
             "pair partitioning needs at least two dimensions"
         )
     heap = engine.relation(relation)
-    total_rows = len(heap)
     dim0, dim1 = schema.dimensions[0], schema.dimensions[1]
     if not (dim0.is_linear and dim1.is_linear):
         raise ValueError(
@@ -589,14 +606,47 @@ def select_partition_pair(
     available = engine.memory.free_bytes
     if available is None:
         raise ValueError("select_partition_pair needs a bounded memory budget")
+    decision = _search_pair_decision(
+        heap, schema, available, top_level0=dim0.n_levels - 1
+    )
+    if decision is None:
+        raise MemoryBudgetExceeded(
+            "no level pair of the two leading dimensions yields "
+            "memory-sized sound partitions with coarse nodes that fit; "
+            "increase the budget or reorder dimensions by decreasing "
+            "cardinality"
+        )
+    return decision
+
+
+def _search_pair_decision(
+    heap,
+    schema: CubeSchema,
+    available: int,
+    top_level0: int,
+    n1_free_level0: int | None = None,
+) -> PairPartitionDecision | None:
+    """Maximize (level0, level1) such that pairs and coarse nodes all fit.
+
+    ``top_level0`` caps the search on dimension 0 (the full chain for the
+    global case; ``parent_level`` for the partition-scoped case).  When
+    ``level0 == n1_free_level0`` the N1 coarse node is not needed — a
+    partition already sound on ``A_{parent_level}`` has no ``(L0,
+    parent_level]`` gap to patch — so its fit constraint is waived.
+    """
+    total_rows = len(heap)
+    dim0, dim1 = schema.dimensions[0], schema.dimensions[1]
     partition_row_bytes = schema.partition_schema.row_size_bytes
     ws_row_bytes = _working_set_row_bytes(schema)
 
     base_counts = _exact_pair_counts(heap, schema)
-    for level0 in range(dim0.n_levels - 1, -1, -1):
-        n1_rows = estimate_pair_coarse_rows(schema, 0, level0, total_rows)
-        if n1_rows * ws_row_bytes > available:
-            continue
+    for level0 in range(top_level0, -1, -1):
+        if level0 == n1_free_level0:
+            n1_rows = 0
+        else:
+            n1_rows = estimate_pair_coarse_rows(schema, 0, level0, total_rows)
+            if n1_rows * ws_row_bytes > available:
+                continue
         map0 = dim0.base_maps[level0]
         for level1 in range(dim1.n_levels - 1, -1, -1):
             n2_rows = estimate_pair_coarse_rows(schema, 1, level1, total_rows)
@@ -618,11 +668,7 @@ def select_partition_pair(
                     available_bytes=available,
                     pair_rows=pair_rows,
                 )
-    raise MemoryBudgetExceeded(
-        "no level pair of the two leading dimensions yields memory-sized "
-        "sound partitions with coarse nodes that fit; increase the budget "
-        "or reorder dimensions by decreasing cardinality"
-    )
+    return None
 
 
 def _exact_pair_counts(heap, schema: CubeSchema) -> dict[tuple[int, int], int]:
@@ -632,6 +678,70 @@ def _exact_pair_counts(heap, schema: CubeSchema) -> dict[tuple[int, int], int]:
         key = (row[0], row[1])
         counts[key] = counts.get(key, 0) + 1
     return counts
+
+
+def _bin_pairs(
+    decision: PairPartitionDecision, partition_row_bytes: int
+) -> dict[tuple[int, int], int]:
+    """First-fit-decreasing binning of (A_L, B_M) pairs into partitions.
+
+    The pair analogue of :func:`_bin_members`: returns pair-key →
+    partition-index; no pair is ever split across partitions.
+    """
+    capacity_rows = max(
+        decision.available_bytes // partition_row_bytes,
+        decision.max_pair_rows,
+    )
+    members = sorted(decision.pair_rows.items(), key=lambda item: -item[1])
+    bins: list[int] = []
+    assignment: dict[tuple[int, int], int] = {}
+    for key, rows in members:
+        placed = False
+        for index, remaining in enumerate(bins):
+            if rows <= remaining:
+                bins[index] -= rows
+                assignment[key] = index
+                placed = True
+                break
+        if not placed:
+            bins.append(capacity_rows - rows)
+            assignment[key] = len(bins) - 1
+    return assignment
+
+
+def _fold_pair_coarse(
+    coarse: dict[tuple, list],
+    key: tuple,
+    measures: tuple,
+    rowid: int,
+    rep0: int,
+    rep1: int,
+    specs: tuple[AggregateSpec, ...],
+) -> None:
+    """Merge one fact tuple into a pair-coarse hash entry (keeps both
+    representative base codes so either dimension can be substituted)."""
+    entry = coarse.get(key)
+    if entry is None:
+        coarse[key] = [
+            [
+                spec.function.from_value(measures[spec.measure_index])
+                for spec in specs
+            ],
+            1,
+            rowid,
+            rep0,
+            rep1,
+        ]
+    else:
+        partials = entry[0]
+        for y, spec in enumerate(specs):
+            partials[y] = spec.function.merge(
+                partials[y],
+                spec.function.from_value(measures[spec.measure_index]),
+            )
+        entry[1] += 1
+        if rowid < entry[2]:
+            entry[2] = rowid
 
 
 def partition_relation_pair(
@@ -655,25 +765,8 @@ def partition_relation_pair(
     map1 = dim1.base_maps[decision.level1]
     partition_schema = schema.partition_schema
 
-    capacity_rows = max(
-        decision.available_bytes // partition_schema.row_size_bytes,
-        decision.max_pair_rows,
-    )
-    members = sorted(decision.pair_rows.items(), key=lambda item: -item[1])
-    bins: list[int] = []
-    assignment: dict[tuple[int, int], int] = {}
-    for key, rows in members:
-        placed = False
-        for index, remaining in enumerate(bins):
-            if rows <= remaining:
-                bins[index] -= rows
-                assignment[key] = index
-                placed = True
-                break
-        if not placed:
-            bins.append(capacity_rows - rows)
-            assignment[key] = len(bins) - 1
-    n_bins = len(bins)
+    assignment = _bin_pairs(decision, partition_schema.row_size_bytes)
+    n_bins = (max(assignment.values()) + 1) if assignment else 0
 
     names = [f"{relation}.pairpart{i}{name_suffix}" for i in range(n_bins)]
     for name in names:
@@ -692,30 +785,6 @@ def partition_relation_pair(
     coarse1: dict[tuple, list] = {}  # N1 = A_{L+1} B_0 C_0 …
     coarse2: dict[tuple, list] = {}  # N2 = A_0 B_{M+1} C_0 …
 
-    def fold(coarse, key, measures, rowid, rep0, rep1):
-        entry = coarse.get(key)
-        if entry is None:
-            coarse[key] = [
-                [
-                    spec.function.from_value(measures[spec.measure_index])
-                    for spec in specs
-                ],
-                1,
-                rowid,
-                rep0,
-                rep1,
-            ]
-        else:
-            partials = entry[0]
-            for y, spec in enumerate(specs):
-                partials[y] = spec.function.merge(
-                    partials[y],
-                    spec.function.from_value(measures[spec.measure_index]),
-                )
-            entry[1] += 1
-            if rowid < entry[2]:
-                entry[2] = rowid
-
     for rowid, row in enumerate(heap.scan()):
         code0, code1 = row[0], row[1]
         bin_index = assignment.get((map0[code0], map1[code1]), 0)
@@ -727,13 +796,13 @@ def partition_relation_pair(
         measures = row[n_dims:]
         upper_code0 = 0 if project0 else upper0[code0]
         upper_code1 = 0 if project1 else upper1[code1]
-        fold(
+        _fold_pair_coarse(
             coarse1, (upper_code0,) + row[1:n_dims], measures, rowid,
-            code0, code1,
+            code0, code1, specs,
         )
-        fold(
+        _fold_pair_coarse(
             coarse2, (row[0], upper_code1) + row[2:n_dims], measures, rowid,
-            code0, code1,
+            code0, code1, specs,
         )
 
     for bin_index, buffer in enumerate(buffers):
@@ -795,3 +864,184 @@ def _persist_pair_coarse(
     heap.append_many(rows())
     heap.flush()
     return name
+
+
+# -- local pair re-partitioning: the pair extension scoped to one partition -----------
+
+
+@dataclass
+class PairRepartition:
+    """Outcome of pair-splitting one over-budget partition.
+
+    Produced when the partition's skew lives entirely inside a single
+    base-level member of dimension 0, so no finer single level can split
+    it.  The three regions of :class:`PairPartitionDecision` apply
+    locally:
+
+    - the ``.sub<i>`` partitions are sound on ``(A_L0, B_M)`` pairs and
+      build every node with both leading dimensions at levels ≤ (L0, M);
+    - ``coarse1_name`` (local N1, ``A_{L0+1} B_0 C_0 …``) patches nodes
+      with dimension 0 in ``(L0, parent_level]`` — it is ``None`` when
+      ``level0 == parent_level``, where that slice is empty;
+    - ``coarse2_name`` (local N2, ``A_0 B_{M+1} C_0 …``) patches nodes
+      keeping dimension 0 ≤ L0 but dimension 1 above M (or absent).
+
+    Together the pieces cover exactly what the parent partition — sound
+    on ``A_{parent_level}`` — would have covered.
+    """
+
+    level0: int
+    level1: int
+    parent_level: int
+    partition_names: list[str]
+    coarse1_name: str | None
+    coarse2_name: str
+    n_rows: int
+
+
+def select_partition_pair_local(
+    engine: Engine,
+    partition: str,
+    schema: CubeSchema,
+    parent_level: int,
+) -> PairPartitionDecision:
+    """Choose the maximum workable (L0 ≤ parent_level, M) pair for one
+    partition's rows.
+
+    Called after single-dimension re-partitioning found no feasible finer
+    level, so every failure here is terminal for the build and raises
+    :class:`MemoryBudgetExceeded` with the remaining knobs spelled out.
+    """
+    if schema.n_dimensions < 2:
+        raise MemoryBudgetExceeded(
+            f"partition {partition!r} exceeds the memory budget, no finer "
+            f"level of dimension 0 can split it, and the cube has a single "
+            f"dimension so the local pair extension does not apply; raise "
+            f"the memory budget (MemoryManager(budget_bytes))"
+        )
+    dim1 = schema.dimensions[1]
+    if not dim1.is_linear:
+        raise MemoryBudgetExceeded(
+            f"partition {partition!r} exceeds the memory budget and the "
+            f"local pair extension needs a linear hierarchy on dimension "
+            f"{dim1.name!r}; reorder linear-hierarchy dimensions first or "
+            f"raise the memory budget (MemoryManager(budget_bytes))"
+        )
+    available = engine.memory.free_bytes
+    if available is None:
+        raise ValueError(
+            "select_partition_pair_local needs a bounded memory budget"
+        )
+    heap = engine.relation(partition)
+    decision = _search_pair_decision(
+        heap,
+        schema,
+        available,
+        top_level0=parent_level,
+        n1_free_level0=parent_level,
+    )
+    if decision is None:
+        raise MemoryBudgetExceeded(
+            f"partition {partition!r} exceeds the memory budget and no "
+            f"level pair (A_L0, B_M) of the two leading dimensions yields "
+            f"memory-sized sound sub-partitions with local coarse nodes "
+            f"that fit; raise the memory budget "
+            f"(MemoryManager(budget_bytes)) or reorder dimensions by "
+            f"decreasing cardinality"
+        )
+    return decision
+
+
+def repartition_relation_pair(
+    engine: Engine,
+    partition: str,
+    schema: CubeSchema,
+    parent_level: int,
+    decision: PairPartitionDecision,
+    stats: PartitionStats | None = None,
+) -> PairRepartition:
+    """One pass over the partition: route rows by (A_L0, B_M) pair and
+    build the local coarse nodes.
+
+    The partition's rows already carry their fact row-id in the trailing
+    column (``partition_schema``), so sub-partitions reuse the rows
+    verbatim and the coarse folds read the stored row-id instead of
+    re-enumerating — answers stay byte-identical to the unsplit build.
+    """
+    heap = engine.relation(partition)
+    total_rows = len(heap)
+    dim0, dim1 = schema.dimensions[0], schema.dimensions[1]
+    map0 = dim0.base_maps[decision.level0]
+    map1 = dim1.base_maps[decision.level1]
+    partition_schema = schema.partition_schema
+
+    assignment = _bin_pairs(decision, partition_schema.row_size_bytes)
+    n_bins = (max(assignment.values()) + 1) if assignment else 0
+    names = [f"{partition}.sub{i}" for i in range(n_bins)]
+    for name in names:
+        if engine.catalog.exists(name):
+            engine.catalog.drop(name)
+    heaps = [engine.create_relation(name, partition_schema) for name in names]
+    buffers: list[list[tuple]] = [[] for _ in range(n_bins)]
+
+    # Local N1 patches the (L0, parent_level] slice of dimension 0; when
+    # level0 == parent_level that slice is empty (the pair partitions
+    # already cover A_{parent_level}) and building N1 would double-count.
+    build_n1 = decision.level0 < parent_level
+    upper0 = dim0.base_maps[decision.level0 + 1] if build_n1 else None
+    project1 = decision.level1 + 1 == dim1.all_level
+    upper1 = None if project1 else dim1.base_maps[decision.level1 + 1]
+    specs = schema.aggregates
+    n_dims = schema.n_dimensions
+
+    coarse1: dict[tuple, list] = {}  # local N1 = A_{L0+1} B_0 C_0 …
+    coarse2: dict[tuple, list] = {}  # local N2 = A_0 B_{M+1} C_0 …
+
+    for row in heap.scan():
+        code0, code1 = row[0], row[1]
+        bin_index = assignment.get((map0[code0], map1[code1]), 0)
+        buffer = buffers[bin_index]
+        buffer.append(row)  # rows already carry their fact rowid
+        if len(buffer) >= _FLUSH_EVERY:
+            heaps[bin_index].append_many(buffer)
+            buffer.clear()
+        measures = row[n_dims:-1]
+        rowid = row[-1]
+        if build_n1:
+            _fold_pair_coarse(
+                coarse1, (upper0[code0],) + row[1:n_dims], measures, rowid,
+                code0, code1, specs,
+            )
+        upper_code1 = 0 if project1 else upper1[code1]
+        _fold_pair_coarse(
+            coarse2, (code0, upper_code1) + row[2:n_dims], measures, rowid,
+            code0, code1, specs,
+        )
+
+    for bin_index, buffer in enumerate(buffers):
+        if buffer:
+            heaps[bin_index].append_many(buffer)
+    for sub_heap in heaps:
+        sub_heap.flush()
+
+    coarse1_name: str | None = None
+    if build_n1:
+        coarse1_name = _persist_pair_coarse(
+            engine, partition, schema, coarse1, "coarseN1", rep_dim=0
+        )
+    coarse2_name = _persist_pair_coarse(
+        engine, partition, schema, coarse2, "coarseN2", rep_dim=1
+    )
+    if stats is not None:
+        stats.repartitioned_partitions += 1
+        stats.pair_repartitioned_partitions += 1
+        stats.subpartitions_created += n_bins
+    return PairRepartition(
+        level0=decision.level0,
+        level1=decision.level1,
+        parent_level=parent_level,
+        partition_names=names,
+        coarse1_name=coarse1_name,
+        coarse2_name=coarse2_name,
+        n_rows=total_rows,
+    )

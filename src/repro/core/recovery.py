@@ -21,6 +21,13 @@ restarting:
   points at a checkpoint only after all of its files and checksums are on
   disk, so a crash mid-checkpoint is invisible: resume restores the last
   referenced checkpoint and re-runs only the partitions after it.
+  Adaptive re-partitioning — including the *local pair* split for
+  intra-member skew — happens inside :func:`process_partition`, i.e.
+  strictly between checkpoints: a crash mid-split re-runs that partition
+  from the previous barrier, and because the split decisions are
+  recomputed deterministically (exact counts over the same rows, same
+  budget) the resumed build recreates identical ``.sub<i>`` /
+  ``.coarseN*`` scaffolding and the cube stays byte-identical.
 * **Stage C — coarse node + final commit.**  The finished cube is
   persisted to staging names, each relation is atomically promoted, and
   the manifest flips to ``complete`` with per-file checksums and row
@@ -555,9 +562,13 @@ class DurableCubeBuild:
         manifest.stats = _stats_to_json(stats)
         manifest.save(self.manifest_path)
         # Best-effort cleanup of build scaffolding; a crash here costs
-        # only disk space, never correctness.
+        # only disk space, never correctness.  The prefixed sweep also
+        # catches adaptive re-partitioning leftovers (`<partition>.sub<i>`,
+        # `.coarseN`, `.coarseN1/2`) from crashed attempts that a resumed
+        # run superseded.
         self._drop_prefixed(f"{self.prefix}.ckpt")
         for entry in manifest.partitions:
+            self._drop_prefixed(str(entry["name"]) + ".")
             if catalog.exists(str(entry["name"])):
                 catalog.drop(str(entry["name"]))
         for coarse_entry in (manifest.coarse, manifest.coarse2):

@@ -57,6 +57,8 @@ def generate_flat_dataset(
     cardinalities: tuple[int, ...] | None = None,
     aggregates: tuple[tuple[str, int], ...] = (("sum", 0),),
     n_measures: int = 1,
+    hot_member_fraction: float = 0.0,
+    hot_dimension: int = 0,
 ) -> tuple[CubeSchema, Table]:
     """Generate a flat fact table with the paper's synthetic knobs.
 
@@ -64,9 +66,21 @@ def generate_flat_dataset(
     match the generator's domains) and the fact table.  Dimensions come
     out in decreasing cardinality order when the default ``C_i = T/i``
     profile is used, which is BUC's (and CURE's) preferred ordering.
+
+    ``hot_member_fraction`` layers *intra-member* skew on top of the Zipf
+    draw: each tuple independently lands on member 0 of ``hot_dimension``
+    with that probability (its other dimensions keep their Zipf draw).
+    At 0.0 the knob is inert; near 1.0 a single base-level member owns
+    almost the whole table — the regime where partitioning on any level
+    of that dimension alone cannot bound partition size and the local
+    pair extension has to kick in.
     """
     if n_dims < 1 or n_tuples < 1:
         raise ValueError("need at least one dimension and one tuple")
+    if not 0.0 <= hot_member_fraction <= 1.0:
+        raise ValueError("hot_member_fraction must be in [0, 1]")
+    if not 0 <= hot_dimension < n_dims:
+        raise ValueError("hot_dimension must name a generated dimension")
     if cardinalities is None:
         cardinalities = default_cardinalities(n_dims, n_tuples)
     if len(cardinalities) != n_dims:
@@ -76,6 +90,11 @@ def generate_flat_dataset(
         zipf_column(rng, n_tuples, cardinality, zipf)
         for cardinality in cardinalities
     ]
+    if hot_member_fraction > 0.0:
+        hot_mask = rng.random(n_tuples) < hot_member_fraction
+        columns[hot_dimension] = np.where(
+            hot_mask, np.int64(0), columns[hot_dimension]
+        )
     measures = [
         rng.integers(1, 101, size=n_tuples, dtype=np.int64)
         for _ in range(n_measures)

@@ -77,6 +77,13 @@ class FaultInjector:
     ``trace`` records every site event (fault or not), so a recording run
     — an injector with an empty plan — enumerates the injection points of
     a build; ``fired`` records the faults actually raised.
+
+    Besides the relational-layer sites (``heap.*``, ``catalog.*``,
+    ``memory.reserve``), the partitioner fires ``repartition.single:<p>``
+    and ``repartition.pair:<p>`` when adaptive re-partitioning splits an
+    over-budget partition ``<p>`` on a finer level of dimension 0 or —
+    for intra-member skew — on (A_L0, B_M) member pairs, so crash sweeps
+    land inside both recovery paths.
     """
 
     plan: tuple[FaultSpec, ...] = ()
@@ -93,6 +100,19 @@ class FaultInjector:
     def crash_at(cls, event_index: int) -> "FaultInjector":
         """Crash at the ``event_index``-th site event (0-based), any site."""
         return cls(plan=crash_plan(event_index))
+
+    def sites(self, pattern: str) -> list[str]:
+        """The traced site events matching an ``fnmatch`` pattern.
+
+        Lets tests assert that a recording run actually reached a code
+        path (``injector.sites("repartition.pair:*")``) and lets sweeps
+        target a site family without hand-counting event indices.
+        """
+        return [
+            site
+            for site in self.trace
+            if fnmatch.fnmatchcase(site, pattern)
+        ]
 
     def fire(self, site: str) -> None:
         """One injection point; raises if an armed fault triggers."""

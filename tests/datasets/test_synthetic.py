@@ -77,3 +77,42 @@ def test_multiple_measures_and_aggregates():
     )
     assert schema.n_aggregates == 3
     assert len(table[0]) == 4
+
+
+def _member_share(table, dimension, member):
+    values = [row[dimension] for row in table.rows]
+    return values.count(member) / len(values)
+
+
+def test_hot_member_fraction_concentrates_one_member():
+    _s, table = generate_flat_dataset(
+        2, 2000, zipf=0.0, seed=3, hot_member_fraction=0.7
+    )
+    share = _member_share(table, 0, 0)
+    assert 0.6 < share < 0.8  # ~Binomial(2000, 0.7) plus uniform spillover
+
+
+def test_hot_member_fraction_targets_chosen_dimension():
+    _s, table = generate_flat_dataset(
+        3, 1500, zipf=0.0, seed=4, hot_member_fraction=0.9, hot_dimension=1
+    )
+    assert _member_share(table, 1, 0) > 0.85
+    # Other dimensions keep their (spread-out) Zipf draw.
+    assert _member_share(table, 0, 0) < 0.2
+
+
+def test_hot_member_fraction_zero_is_inert():
+    _s, plain = generate_flat_dataset(2, 300, seed=9)
+    _s, with_knob = generate_flat_dataset(
+        2, 300, seed=9, hot_member_fraction=0.0
+    )
+    assert plain.rows == with_knob.rows
+
+
+def test_hot_member_fraction_validation():
+    with pytest.raises(ValueError, match="hot_member_fraction"):
+        generate_flat_dataset(2, 10, hot_member_fraction=1.5)
+    with pytest.raises(ValueError, match="hot_member_fraction"):
+        generate_flat_dataset(2, 10, hot_member_fraction=-0.1)
+    with pytest.raises(ValueError, match="hot_dimension"):
+        generate_flat_dataset(2, 10, hot_member_fraction=0.5, hot_dimension=2)
