@@ -75,6 +75,7 @@ from repro.relational.catalog import Catalog
 from repro.relational.durable import (
     atomic_write_text,
     file_checksum,
+    maybe_fire,
     remove_file,
     text_checksum,
 )
@@ -204,7 +205,7 @@ class DurableCubeBuild:
             fact_checksum=self.engine.catalog.checksum(self.relation),
             fact_rows=len(self.engine.relation(self.relation)),
         )
-        manifest.save(self.manifest_path)
+        self._save_manifest(manifest)
         return self._run(manifest)
 
     def resume(self) -> CubeResult:
@@ -236,6 +237,19 @@ class DurableCubeBuild:
             "dr_mode": self.dr_mode,
             "partition_strategy": self.partition_strategy,
         }
+
+    def _save_manifest(self, manifest: BuildManifest) -> None:
+        """Commit the manifest, then expose the commit as a crash point.
+
+        The injection site fires *after* the save: it models a crash at
+        the instant the new manifest is durable (a crash just before the
+        save is the same state as a crash after the previous operation,
+        which the surrounding sites already cover).
+        """
+        manifest.save(self.manifest_path)
+        maybe_fire(
+            self.engine.catalog.faults, f"manifest.save:{self.prefix}"
+        )
 
     # -- the driver ---------------------------------------------------------
 
@@ -438,7 +452,7 @@ class DurableCubeBuild:
         manifest.completed_partitions = 0
         manifest.checkpoint = None
         manifest.stats = _stats_to_json(stats)
-        manifest.save(self.manifest_path)
+        self._save_manifest(manifest)
         return decision, decision.level
 
     def _stage_partition_pair(
@@ -467,7 +481,7 @@ class DurableCubeBuild:
         manifest.completed_partitions = 0
         manifest.checkpoint = None
         manifest.stats = _stats_to_json(stats)
-        manifest.save(self.manifest_path)
+        self._save_manifest(manifest)
         return decision, decision.level0
 
     def _publish_staged(self, staged: str) -> dict[str, Any]:
@@ -498,6 +512,7 @@ class DurableCubeBuild:
         previous = manifest.checkpoint
         ckpt_id = int(previous["id"]) + 1 if previous else 0
         ckpt_prefix = f"{self.prefix}.ckpt{ckpt_id}"
+        maybe_fire(catalog.faults, f"checkpoint.write:{ckpt_prefix}")
         self._drop_prefixed(f"{ckpt_prefix}.")
         remove_file(catalog.root / f"{ckpt_prefix}.meta.json")
         names = storage.persist(catalog, ckpt_prefix)
@@ -513,7 +528,7 @@ class DurableCubeBuild:
         }
         manifest.completed_partitions = completed
         manifest.stage = STAGE_PHASE1
-        manifest.save(self.manifest_path)
+        self._save_manifest(manifest)
         if previous is not None:
             self._drop_prefixed(str(previous["prefix"]) + ".")
             remove_file(
@@ -528,6 +543,7 @@ class DurableCubeBuild:
     ) -> None:
         """Stage C: publish every cube relation atomically, flip to complete."""
         catalog = self.engine.catalog
+        maybe_fire(catalog.faults, f"commit.final:{self.prefix}")
         staging = f"{self.prefix}{_STAGING_SUFFIX}"
         self._drop_prefixed(f"{staging}.")
         remove_file(catalog.root / f"{staging}.meta.json")
@@ -560,7 +576,7 @@ class DurableCubeBuild:
         manifest.stage = STAGE_COMPLETE
         manifest.checkpoint = None
         manifest.stats = _stats_to_json(stats)
-        manifest.save(self.manifest_path)
+        self._save_manifest(manifest)
         # Best-effort cleanup of build scaffolding; a crash here costs
         # only disk space, never correctness.  The prefixed sweep also
         # catches adaptive re-partitioning leftovers (`<partition>.sub<i>`,

@@ -42,7 +42,7 @@ from repro.core.signature import FormatStatistics, Signature, SignatureRun
 from repro.relational.batch import ColumnBatch
 from repro.relational.bitmap import Bitmap
 from repro.relational.catalog import Catalog
-from repro.relational.durable import atomic_write_text
+from repro.relational.durable import atomic_write_text, maybe_fire
 from repro.relational.schema import Column, ColumnType, TableSchema
 
 VALUE_BYTES = 4
@@ -425,6 +425,7 @@ class CubeStorage:
             "fact_row_count": self.fact_row_count,
             "node_ids": sorted(self.nodes),
         }
+        maybe_fire(catalog.faults, f"storage.meta:{prefix}")
         atomic_write_text(
             catalog.root / f"{prefix}.meta.json", json.dumps(meta)
         )

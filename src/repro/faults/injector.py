@@ -40,6 +40,29 @@ from repro.relational.durable import (
 from repro.relational.memory import MemoryBudgetExceeded
 
 
+#: Every site family the build fires, as ``family`` in ``family:detail``
+#: site strings.  The R13 lint rule cross-checks two ways: every reachable
+#: durable-primitive call must sit on a path covered by a ``fire`` of one
+#: of these families, and no code may fire a family missing from this set.
+SITE_FAMILIES: frozenset[str] = frozenset(
+    {
+        "heap.write",
+        "heap.flush",
+        "heap.read",
+        "memory.reserve",
+        "catalog.create",
+        "catalog.drop",
+        "catalog.publish",
+        "repartition.single",
+        "repartition.pair",
+        "manifest.save",
+        "checkpoint.write",
+        "commit.final",
+        "storage.meta",
+    }
+)
+
+
 class FaultKind(enum.Enum):
     """What happens when a :class:`FaultSpec` triggers."""
 

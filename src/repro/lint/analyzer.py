@@ -22,8 +22,9 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.lint.graph import ProjectGraph
+from repro.lint.registry import ALL_RULES
 from repro.lint.rules import (
-    ALL_RULES,
     ModuleContext,
     Rule,
     Violation,
@@ -98,8 +99,8 @@ def display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def analyze_file(path: Path, rules: Sequence[Rule] = ALL_RULES) -> FileReport:
-    """Run every applicable rule over one source file."""
+def _parse_module(path: Path) -> tuple[FileReport, ModuleContext | None, Suppressions]:
+    """Parse one file into a report shell plus its module context."""
     shown = display_path(path)
     report = FileReport(shown)
     source = path.read_text(encoding="utf-8")
@@ -109,12 +110,20 @@ def analyze_file(path: Path, rules: Sequence[Rule] = ALL_RULES) -> FileReport:
         report.violations.append(
             Violation("E0", shown, error.lineno or 1, error.offset or 0, "syntax error")
         )
-        return report
+        return report, None, Suppressions()
     parts = frozenset(Path(shown).parts[:-1])
     ctx = ModuleContext(shown, parts, tree, resolve_imports(tree))
-    suppressions = parse_suppressions(source)
+    return report, ctx, parse_suppressions(source)
+
+
+def _run_rules(
+    report: FileReport,
+    ctx: ModuleContext,
+    suppressions: Suppressions,
+    rules: Sequence[Rule],
+) -> FileReport:
     for rule in rules:
-        if not rule.applies_to(parts):
+        if not rule.applies_to(ctx.parts):
             continue
         for violation in rule.check(ctx):
             if suppressions.covers(violation):
@@ -124,6 +133,15 @@ def analyze_file(path: Path, rules: Sequence[Rule] = ALL_RULES) -> FileReport:
     report.violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
     report.suppressed.sort(key=lambda v: (v.line, v.col, v.rule_id))
     return report
+
+
+def analyze_file(path: Path, rules: Sequence[Rule] = ALL_RULES) -> FileReport:
+    """Run every applicable rule over one source file in isolation.
+
+    Flow rules (R10–R13) see a single-module call graph here; use
+    :func:`analyze_paths` to resolve calls across the whole file set.
+    """
+    return analyze_paths([path], rules)[0]
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -153,8 +171,22 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
 def analyze_paths(
     paths: Iterable[str | Path], rules: Sequence[Rule] = ALL_RULES
 ) -> list[FileReport]:
-    """Analyze every ``.py`` file under ``paths`` (files or directories)."""
-    return [analyze_file(path, rules) for path in iter_python_files(paths)]
+    """Analyze every ``.py`` file under ``paths`` (files or directories).
+
+    All files are parsed first and share one
+    :class:`~repro.lint.graph.ProjectGraph`, so the flow rules (R10–R13)
+    resolve calls *across* the analyzed set — a taint source in one
+    module is followed into a sink in another.
+    """
+    parsed = [_parse_module(path) for path in iter_python_files(paths)]
+    contexts = [ctx for _, ctx, _ in parsed if ctx is not None]
+    graph = ProjectGraph.from_contexts(contexts)
+    for ctx in contexts:
+        ctx.graph = graph
+    return [
+        _run_rules(report, ctx, suppressions, rules) if ctx is not None else report
+        for report, ctx, suppressions in parsed
+    ]
 
 
 def relative_to_root(path: str, root: Path | None = None) -> str:

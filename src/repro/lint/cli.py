@@ -13,7 +13,8 @@ from pathlib import Path
 
 from repro.lint.analyzer import FileReport, analyze_paths
 from repro.lint.baseline import Baseline, check_ratchet, observed_counts
-from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.lint.registry import ALL_RULES, RULES_BY_ID
+from repro.lint.rules import Rule
 
 DEFAULT_BASELINE = "tools/lint_baseline.json"
 
@@ -100,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print violations silenced by `# cubelint: disable=` pragmas",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the interprocedural call path under each R10–R13 finding",
+    )
     return parser
 
 
@@ -142,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     result = check_ratchet(reports, baseline)
     for violation in result.new_violations:
         print(violation.render())
+        if args.explain and violation.trace:
+            print(violation.render_trace())
     for rule_id in sorted(fired_rules & set(RULES_BY_ID)):
         if any(v.rule_id == rule_id for v in result.new_violations):
             print(f"{rule_id} hint: {RULES_BY_ID[rule_id].hint}")

@@ -16,31 +16,46 @@ from __future__ import annotations
 
 import ast
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule hit at a concrete source location."""
+    """One rule hit at a concrete source location.
+
+    ``trace`` is optional interprocedural context (source→sink call
+    chains, entry-point paths) rendered by ``cubelint --explain``.
+    """
 
     rule_id: str
     path: str
     line: int
     col: int
     message: str
+    trace: tuple[str, ...] = ()
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
 
+    def render_trace(self) -> str:
+        return "\n".join(f"    {step}" for step in self.trace)
+
 
 @dataclass
 class ModuleContext:
-    """Everything a rule needs to know about one parsed module."""
+    """Everything a rule needs to know about one parsed module.
+
+    ``graph`` is the shared :class:`~repro.lint.graph.ProjectGraph` when
+    the module was analyzed as part of a file set (set by the analyzer);
+    flow rules fall back to a single-module graph when it is absent.
+    """
 
     path: str
     parts: frozenset[str]
     tree: ast.Module
     imports: dict[str, str]
+    graph: Any = field(default=None, repr=False)
 
 
 def resolve_imports(tree: ast.Module) -> dict[str, str]:

@@ -32,6 +32,7 @@ tests assert identical answers *and* identical work counters either way.
 
 from __future__ import annotations
 
+from contextvars import ContextVar
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,7 +57,7 @@ Answer = list[tuple[tuple[int, ...], tuple[int, ...]]]
 #: legacy tuple pairs on the row-execution reference path.
 AnyAnswer = ColumnAnswer | Answer
 
-_BATCH_EXECUTION = True
+_BATCH_EXECUTION: ContextVar[bool] = ContextVar("batch_execution", default=True)
 
 
 def set_batch_execution(enabled: bool) -> bool:
@@ -64,17 +65,17 @@ def set_batch_execution(enabled: bool) -> bool:
 
     Returns the previous setting.  Row execution exists as a reference
     and benchmark baseline; both paths produce identical answers and
-    identical work counters.
+    identical work counters.  The flag lives in a :class:`ContextVar`,
+    so flipping it in one thread (or task) never races another.
     """
-    global _BATCH_EXECUTION
-    previous = _BATCH_EXECUTION
-    _BATCH_EXECUTION = enabled
+    previous = _BATCH_EXECUTION.get()
+    _BATCH_EXECUTION.set(enabled)
     return previous
 
 
 def batch_execution_enabled() -> bool:
     """Whether answering currently runs on the vectorized path."""
-    return _BATCH_EXECUTION
+    return _BATCH_EXECUTION.get()
 
 
 @dataclass
@@ -103,7 +104,7 @@ def answer_cure_query(
     """Answer one node query over a CURE(-family) cube."""
     schema = storage.schema
     node_id = schema.node_id(node)
-    if _BATCH_EXECUTION:
+    if _BATCH_EXECUTION.get():
         answer: AnyAnswer = ColumnAnswer.from_parts(
             len(node.grouping_dims(schema.dimensions)),
             schema.n_aggregates,
@@ -355,7 +356,7 @@ def answer_buc_query(
     y = schema.n_aggregates
     rows = cube.node_rows(schema.node_id(node))
     arity = len(node.grouping_dims(schema.dimensions))
-    if _BATCH_EXECUTION:
+    if _BATCH_EXECUTION.get():
         if rows:
             matrix = np.asarray(rows, dtype=np.int64)
             answer: AnyAnswer = ColumnAnswer(
@@ -403,7 +404,7 @@ def answer_bubst_query(
             dims = tuple(row.dims[d] for d in grouping)
             pairs.append((dims, row.aggregates))
     answer: AnyAnswer = pairs
-    if _BATCH_EXECUTION:
+    if _BATCH_EXECUTION.get():
         answer = ColumnAnswer.from_pairs(
             pairs, len(grouping), schema.n_aggregates
         )

@@ -16,6 +16,7 @@ path pays the conversion once per (dimension, level).
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
@@ -29,16 +30,18 @@ if TYPE_CHECKING:
     from repro.lattice.node import CubeNode
 
 _LEVEL_MAPS: dict[tuple[int, int], tuple[object, np.ndarray]] = {}
+_LEVEL_MAPS_LOCK = threading.Lock()
 
 
 def level_map(dimension: "Dimension", level: int) -> np.ndarray:
     """``dimension.base_maps[level]`` as a cached int64 lookup array."""
     key = (id(dimension), level)
-    entry = _LEVEL_MAPS.get(key)
-    if entry is not None and entry[0] is dimension:
-        return entry[1]
-    array = np.asarray(dimension.base_maps[level], dtype=np.int64)
-    _LEVEL_MAPS[key] = (dimension, array)
+    with _LEVEL_MAPS_LOCK:
+        entry = _LEVEL_MAPS.get(key)
+        if entry is not None and entry[0] is dimension:
+            return entry[1]
+        array = np.asarray(dimension.base_maps[level], dtype=np.int64)
+        _LEVEL_MAPS[key] = (dimension, array)
     return array
 
 

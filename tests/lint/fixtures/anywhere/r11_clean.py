@@ -1,0 +1,16 @@
+"""Laundered inputs: sorted listings and seeded generators are clean."""
+
+from __future__ import annotations
+
+import os
+import random
+
+
+def pick_level(root: str) -> int:
+    names = sorted(os.listdir(root))
+    return select_partition_level(names)
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.uniform(0.0, 1.0)

@@ -1,0 +1,15 @@
+"""R11: nondeterminism reaching partition and cube-byte sinks."""
+
+from __future__ import annotations
+
+import os
+
+
+def pick_level(root: str) -> int:
+    names = os.listdir(root)
+    return select_partition_level(names)
+
+
+def checkpoint_tag(payload: bytes) -> None:
+    tag = id(payload)
+    atomic_write_text("ckpt", str(tag))

@@ -1,0 +1,10 @@
+"""A documented nondeterministic path, silenced with a pragma."""
+
+from __future__ import annotations
+
+import os
+
+
+def pick_any(root: str) -> int:
+    names = os.listdir(root)
+    return select_partition_level(names)  # cubelint: disable=R11

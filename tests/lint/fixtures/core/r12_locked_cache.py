@@ -1,0 +1,18 @@
+"""Lock-guarded cache mutation on the build path is the sanctioned idiom."""
+
+from __future__ import annotations
+
+import threading
+
+_CACHE: dict[str, int] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def _remember(key: str, value: int) -> int:
+    with _CACHE_LOCK:
+        _CACHE[key] = value
+    return value
+
+
+def process_partition(key: str) -> int:
+    return _remember(key, len(key))

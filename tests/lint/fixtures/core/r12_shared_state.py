@@ -1,0 +1,20 @@
+"""R12: worker-pool hazards — global rebind and unsynchronized cache."""
+
+from __future__ import annotations
+
+_RESULT_CACHE: dict[str, int] = {}
+_MODE = "batch"
+
+
+def set_mode(mode: str) -> None:
+    global _MODE
+    _MODE = mode
+
+
+def _remember(key: str, value: int) -> int:
+    _RESULT_CACHE[key] = value
+    return value
+
+
+def process_partition(key: str) -> int:
+    return _remember(key, len(key))

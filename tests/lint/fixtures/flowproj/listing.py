@@ -1,0 +1,9 @@
+"""Unsorted listing producer — the cross-module R11 taint source."""
+
+from __future__ import annotations
+
+import os
+
+
+def partition_names(root: str) -> list[str]:
+    return list(os.listdir(root))

@@ -1,0 +1,15 @@
+"""Feeds a listing from another module into a partition-decision sink.
+
+Analyzed alone, this file is clean — the taint lives in ``listing.py``.
+Only a whole-set analysis (``analyze_paths``) follows the call edge and
+reports the flow, which is exactly what the fixture exercises.
+"""
+
+from __future__ import annotations
+
+from flowproj.listing import partition_names
+
+
+def choose(root: str) -> int:
+    names = partition_names(root)
+    return select_partition_level(names)

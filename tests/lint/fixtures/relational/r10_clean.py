@@ -1,0 +1,19 @@
+"""Conforming durable write: write, flush, fsync, replace, then checksum."""
+
+from __future__ import annotations
+
+import os
+
+
+def file_checksum(path: str) -> str:
+    return str(path)
+
+
+def publish_atomic(path: str) -> str:
+    tmp = path + ".wip"
+    with open(tmp, "wb") as handle:
+        handle.write(b"payload")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return file_checksum(path)

@@ -1,0 +1,13 @@
+"""R10: fsync issued without flushing buffered writes first."""
+
+from __future__ import annotations
+
+import os
+
+
+def sync_unflushed(path: str) -> None:
+    handle = open(path + ".wip", "wb")
+    handle.write(b"payload")
+    os.fsync(handle.fileno())
+    handle.close()
+    os.replace(path + ".wip", path)

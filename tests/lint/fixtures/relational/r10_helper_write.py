@@ -1,0 +1,17 @@
+"""R10 interprocedural: the helper writes, the caller forgets the fsync."""
+
+from __future__ import annotations
+
+import os
+
+
+def _spill(handle: object, payload: bytes) -> None:
+    handle.write(payload)
+    handle.flush()
+
+
+def publish_via_helper(path: str) -> None:
+    tmp = path + ".wip"
+    with open(tmp, "wb") as handle:
+        _spill(handle, b"payload")
+    os.replace(tmp, path)

@@ -1,0 +1,13 @@
+"""An acknowledged R10 finding, silenced with a line pragma."""
+
+from __future__ import annotations
+
+import os
+
+
+def publish_unsynced(path: str) -> None:
+    tmp = path + ".wip"
+    with open(tmp, "wb") as handle:
+        handle.write(b"payload")
+        handle.flush()
+    os.replace(tmp, path)  # cubelint: disable=R10

@@ -1,0 +1,13 @@
+"""R10: staged write renamed into place without an fsync."""
+
+from __future__ import annotations
+
+import os
+
+
+def publish_unsynced(path: str) -> None:
+    tmp = path + ".wip"
+    with open(tmp, "wb") as handle:
+        handle.write(b"payload")
+        handle.flush()
+    os.replace(tmp, path)

@@ -1,0 +1,33 @@
+"""R13: reachable durable primitives need registered fault sites."""
+
+from __future__ import annotations
+
+SITE_FAMILIES = frozenset({"manifest.save"})
+
+
+def maybe_fire(hook: object, site: str) -> None:
+    del hook, site
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    del path, text
+
+
+def _save_manifest(path: str) -> None:
+    atomic_write_text(path, "{}")
+    maybe_fire(None, f"manifest.save:{path}")
+
+
+def _write_meta(path: str) -> None:
+    atomic_write_text(path, "meta")
+
+
+def _publish_sideband(path: str) -> None:
+    maybe_fire(None, f"sideband.flush:{path}")
+    atomic_write_text(path, "x")
+
+
+def process_partition(path: str) -> None:
+    _save_manifest(path)
+    _write_meta(path)
+    _publish_sideband(path)

@@ -1,0 +1,249 @@
+"""Unit tests for the taint and durable-typestate analyses."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.dataflow import DurableProtocolAnalysis, TaintAnalysis
+from repro.lint.graph import ProjectGraph
+from repro.lint.rules import ModuleContext, resolve_imports
+
+
+def _graph(*modules: tuple[str, str]) -> ProjectGraph:
+    contexts = []
+    for path, source in modules:
+        tree = ast.parse(textwrap.dedent(source))
+        contexts.append(
+            ModuleContext(
+                path, frozenset(Path(path).parts[:-1]), tree, resolve_imports(tree)
+            )
+        )
+    return ProjectGraph.from_contexts(contexts)
+
+
+def _taint(*modules: tuple[str, str]):
+    return TaintAnalysis(_graph(*modules)).run()
+
+
+def _durable(*modules: tuple[str, str]):
+    return DurableProtocolAnalysis(_graph(*modules)).run()
+
+
+# -- taint (R11 core) ----------------------------------------------------------
+
+
+def test_order_taint_reaches_sink_with_trace() -> None:
+    (violation,) = _taint(
+        (
+            "proj/a.py",
+            """
+            import os
+
+            def pick(root):
+                names = os.listdir(root)
+                return select_partition_level(names)
+            """,
+        )
+    )
+    assert "unsorted `os.listdir` listing" in violation.message
+    assert "select_partition_level" in violation.message
+    assert len(violation.trace) >= 2
+    assert "flows into sink" in violation.trace[-1]
+
+
+def test_sorted_launders_order_but_not_value_taint() -> None:
+    assert (
+        _taint(
+            (
+                "proj/a.py",
+                """
+                import os
+
+                def pick(root):
+                    return select_partition_level(sorted(os.listdir(root)))
+                """,
+            )
+        )
+        == []
+    )
+    (violation,) = _taint(
+        (
+            "proj/b.py",
+            """
+            def tag(x):
+                return atomic_write_text("p", sorted([id(x)]))
+            """,
+        )
+    )
+    assert "id()" in violation.message
+
+
+def test_inplace_sort_launders_listing() -> None:
+    assert (
+        _taint(
+            (
+                "proj/a.py",
+                """
+                import os
+
+                def pick(root):
+                    names = os.listdir(root)
+                    names.sort()
+                    return select_partition_level(names)
+                """,
+            )
+        )
+        == []
+    )
+
+
+def test_taint_crosses_call_returns() -> None:
+    (violation,) = _taint(
+        (
+            "proj/a.py",
+            """
+            import os
+
+            def produce(root):
+                return os.listdir(root)
+
+            def consume(root):
+                return select_partition_level(produce(root))
+            """,
+        )
+    )
+    assert violation.line == 8  # the sink call in consume
+    assert any("returned by `produce()`" in step for step in violation.trace)
+
+
+def test_taint_crosses_parameter_sinks() -> None:
+    (violation,) = _taint(
+        (
+            "proj/a.py",
+            """
+            def write_out(data):
+                atomic_write_text("f", data)
+
+            def driver(x):
+                write_out({x})
+            """,
+        )
+    )
+    assert "via `write_out`" in violation.message
+    assert "set literal" in violation.message
+
+
+def test_mutually_recursive_summaries_terminate() -> None:
+    violations = _taint(
+        (
+            "proj/a.py",
+            """
+            def a(x):
+                return b(x)
+
+            def b(x):
+                return a(x) + id(x)
+
+            def go(p):
+                return atomic_write_text("f", a(p))
+            """,
+        )
+    )
+    assert any("id()" in v.message for v in violations)
+
+
+# -- durable typestate (R10 core) ----------------------------------------------
+
+
+def test_write_never_fsynced() -> None:
+    (violation,) = _durable(
+        (
+            "proj/d.py",
+            """
+            def stash(path):
+                with open(path, "wb") as h:
+                    h.write(b"x")
+            """,
+        )
+    )
+    assert "never fsynced" in violation.message
+
+
+def test_write_after_rename() -> None:
+    (violation,) = _durable(
+        (
+            "proj/d.py",
+            """
+            import os
+
+            def republish(tmp, dst):
+                h = open(tmp, "wb")
+                h.write(b"x")
+                h.flush()
+                os.fsync(h.fileno())
+                os.replace(tmp, dst)
+                h.write(b"late")
+            """,
+        )
+    )
+    assert "after it was renamed into place" in violation.message
+
+
+def test_checksum_before_fsync() -> None:
+    (violation,) = _durable(
+        (
+            "proj/d.py",
+            """
+            import os
+
+            def fingerprint(tmp, dst):
+                with open(tmp, "wb") as h:
+                    h.write(b"x")
+                    h.flush()
+                    digest = file_checksum(tmp)
+                    os.fsync(h.fileno())
+                os.replace(tmp, dst)
+                return digest
+            """,
+        )
+    )
+    assert "before the bytes are fsynced" in violation.message
+
+
+def test_conforming_protocol_is_clean() -> None:
+    assert (
+        _durable(
+            (
+                "proj/d.py",
+                """
+                import os
+
+                def publish(tmp, dst):
+                    with open(tmp, "wb") as h:
+                        h.write(b"x")
+                        h.flush()
+                        os.fsync(h.fileno())
+                    os.replace(tmp, dst)
+                """,
+            )
+        )
+        == []
+    )
+
+
+def test_read_mode_open_is_not_an_artifact() -> None:
+    assert (
+        _durable(
+            (
+                "proj/d.py",
+                """
+                def load(path):
+                    with open(path, "rb") as h:
+                        return h.read()
+                """,
+            )
+        )
+        == []
+    )

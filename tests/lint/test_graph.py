@@ -1,0 +1,157 @@
+"""Unit tests for the project symbol table and call graph."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.graph import ProjectGraph
+from repro.lint.rules import ModuleContext, resolve_imports
+
+
+def _graph(*modules: tuple[str, str]) -> ProjectGraph:
+    contexts = []
+    for path, source in modules:
+        tree = ast.parse(textwrap.dedent(source))
+        contexts.append(
+            ModuleContext(
+                path, frozenset(Path(path).parts[:-1]), tree, resolve_imports(tree)
+            )
+        )
+    return ProjectGraph.from_contexts(contexts)
+
+
+def test_cross_module_call_resolves_through_imports() -> None:
+    graph = _graph(
+        ("proj/alpha.py", "def helper():\n    return 1\n"),
+        (
+            "proj/beta.py",
+            """
+            from proj.alpha import helper
+
+            def caller():
+                return helper()
+            """,
+        ),
+    )
+    (caller,) = graph.find("caller")
+    (call,) = graph.functions[caller].calls
+    assert call.targets == ("proj.alpha:helper",)
+    assert graph.callers["proj.alpha:helper"] == {"proj.beta:caller"}
+
+
+def test_self_method_and_typed_parameter_resolution() -> None:
+    graph = _graph(
+        (
+            "proj/build.py",
+            """
+            class Build:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return 0
+
+            def drive(build: Build):
+                return build.run()
+            """,
+        ),
+    )
+    (run,) = graph.find("Build.run")
+    (call,) = graph.functions[run].calls
+    assert call.targets == ("proj.build:Build.step",)
+    (drive,) = graph.find("drive")
+    (call,) = graph.functions[drive].calls
+    assert call.targets == ("proj.build:Build.run",)
+
+
+def test_generic_method_names_do_not_resolve_by_fallback() -> None:
+    graph = _graph(
+        (
+            "proj/sinks.py",
+            """
+            class Sink:
+                def append(self, value):
+                    return value
+
+                def write_nt(self, value):
+                    return value
+
+            def collect(xs, w):
+                xs.append(1)
+                w.write_nt(1)
+            """,
+        ),
+    )
+    (collect,) = graph.find("collect")
+    targets = {t for call in graph.functions[collect].calls for t in call.targets}
+    # `append` is too generic to resolve on an untyped receiver;
+    # `write_nt` is domain-specific and falls back by method name.
+    assert targets == {"proj.sinks:Sink.write_nt"}
+
+
+def test_reachable_and_call_path() -> None:
+    graph = _graph(
+        (
+            "proj/chain.py",
+            """
+            def process_partition(p):
+                return _middle(p)
+
+            def _middle(p):
+                return _leaf(p)
+
+            def _leaf(p):
+                return p
+
+            def _orphan(p):
+                return p
+            """,
+        ),
+    )
+    (entry,) = graph.find("process_partition")
+    reachable = graph.reachable([entry])
+    assert "proj.chain:_leaf" in reachable
+    assert "proj.chain:_orphan" not in reachable
+    path = graph.call_path(entry, "proj.chain:_leaf")
+    assert [q.split(":")[1] for q in path] == [
+        "process_partition",
+        "_middle",
+        "_leaf",
+    ]
+
+
+def test_mutation_collection_and_binding_scopes() -> None:
+    graph = _graph(
+        (
+            "proj/state.py",
+            """
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+
+            def flip(mode):
+                global _MODE
+                _MODE = mode
+
+            def shadow(key):
+                _LOCAL = {}
+                _LOCAL[key] = 1
+            """,
+        ),
+    )
+    (remember,) = graph.find("remember")
+    (mutation,) = graph.functions[remember].mutations
+    assert mutation.kind == "module-mutate"
+    assert mutation.name == "_CACHE"
+    # a subscript store mutates the global, it does not bind a local
+    assert "_CACHE" not in graph.functions[remember].local_names
+    (flip,) = graph.find("flip")
+    (mutation,) = graph.functions[flip].mutations
+    assert mutation.kind == "global-rebind"
+    assert mutation.name == "_MODE"
+    # a genuinely local dict is not a module-state hazard
+    (shadow,) = graph.find("shadow")
+    assert graph.functions[shadow].mutations == []

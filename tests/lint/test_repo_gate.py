@@ -1,8 +1,9 @@
 """The gate the acceptance criteria describe, enforced from pytest.
 
 ``src/repro`` must be green against the committed baseline, and the
-invariant-critical packages (``core/``, ``lattice/``, ``relational/``)
-must carry zero violations — neither baselined nor suppressed.
+invariant-critical packages (``core/``, ``lattice/``, ``relational/``,
+``faults/``) must carry zero violations — neither baselined nor
+suppressed.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from repro.lint.analyzer import analyze_paths
 from repro.lint.baseline import Baseline, check_ratchet
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-CLEAN_PACKAGES = ("core", "lattice", "relational")
+CLEAN_PACKAGES = ("core", "lattice", "relational", "faults")
 
 
 def _reports() -> list:

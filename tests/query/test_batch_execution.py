@@ -10,6 +10,7 @@ change what the benchmarks measure, only how fast it runs.
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 
 import numpy as np
@@ -42,6 +43,24 @@ def batch_mode(enabled: bool):
         yield
     finally:
         set_batch_execution(previous)
+
+
+def test_set_batch_execution_is_thread_isolated():
+    """The flag lives in a ContextVar: a flip in a worker thread must not
+    leak into (or race) the calling thread."""
+    observed = {}
+
+    def worker():
+        observed["before"] = batch_execution_enabled()
+        set_batch_execution(False)
+        observed["inside"] = batch_execution_enabled()
+
+    with batch_mode(True):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert observed == {"before": True, "inside": False}
+        assert batch_execution_enabled() is True
 
 
 @pytest.fixture
