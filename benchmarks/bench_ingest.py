@@ -1,0 +1,227 @@
+"""Streaming-ingest throughput and fine-grained invalidation payoff.
+
+Three measurements over a ~20k-row cube (2 hierarchical dimensions):
+
+* **append** — events/second through :class:`repro.ingest.AppendLog`
+  (fsync-bound: every record is a durable write, every 64th a seal);
+* **apply** — events/second draining sealed records through
+  :func:`apply_delta` under the :class:`StreamingIngestor` watermark;
+* **invalidation** — result-cache hit rate on a sliced-query workload
+  with localized deltas, fine-grained (slice-driven, this PR) versus the
+  historical whole-cache drop.  Queries slice on the 10 coarse members
+  of dimension A while every delta lands in member 0, so the fine policy
+  keeps ~9/10 cached answers per round and the full drop keeps none.
+
+``python benchmarks/bench_ingest.py`` regenerates ``BENCH_ingest.json``
+at the repo root; ``--check`` (and the pytest entry point) asserts the
+events/second floors and that fine-grained invalidation measurably beats
+the full drop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import (
+    CubeSchema,
+    Engine,
+    Table,
+    build_cube,
+    linear_dimension,
+    make_aggregates,
+)
+from repro.core.incremental import apply_delta
+from repro.ingest import StreamingIngestor
+from repro.lattice.node import CubeNode
+from repro.query import CubePlanner, DimensionSlice, FactCache, QueryRequest
+from repro.relational.catalog import Catalog
+from repro.relational.memory import MemoryManager
+
+BASE_ROWS = 20_000
+RECORDS = 200
+RECORD_ROWS = 50
+SEED = 7
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+
+
+def _schema() -> CubeSchema:
+    a = linear_dimension("A", [("A0", 100), ("A1", 10)])
+    b = linear_dimension("B", [("B0", 50)])
+    return CubeSchema(
+        (a, b), make_aggregates(("sum", 0), ("count", 0)), n_measures=1
+    )
+
+
+def _rows(n: int, seed: int, a_range: tuple[int, int] = (0, 100)) -> list[tuple]:
+    import random
+
+    rng = random.Random(seed)
+    lo, hi = a_range
+    return [
+        (rng.randrange(lo, hi), rng.randrange(50), rng.randrange(1000))
+        for _ in range(n)
+    ]
+
+
+def bench_ingest_throughput(root: Path) -> dict:
+    """Append RECORDS durable records, then drain them; events/second each."""
+    schema = _schema()
+    engine = Engine(Catalog(root / "cat"), MemoryManager())
+    try:
+        ingestor = StreamingIngestor.bootstrap(
+            schema,
+            engine,
+            Table(schema.fact_schema, _rows(BASE_ROWS, SEED)),
+            root / "log",
+        )
+        batches = [
+            _rows(RECORD_ROWS, SEED + 1 + index) for index in range(RECORDS)
+        ]
+        started = time.perf_counter()
+        for batch in batches:
+            ingestor.append(batch)
+        ingestor.log.seal()
+        append_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        applied = ingestor.apply_ready()
+        apply_seconds = time.perf_counter() - started
+        assert applied == RECORDS
+
+        events = RECORDS * RECORD_ROWS
+        return {
+            "events": events,
+            "record_rows": RECORD_ROWS,
+            "append_seconds": round(append_seconds, 4),
+            "append_events_per_s": round(events / append_seconds),
+            "apply_seconds": round(apply_seconds, 4),
+            "apply_events_per_s": round(events / apply_seconds),
+        }
+    finally:
+        engine.close()
+
+
+def _invalidation_arm(fine: bool, rounds: int = 20) -> dict:
+    """Hit rate of a sliced-query workload under one invalidation policy."""
+    schema = _schema()
+    table = Table(schema.fact_schema, _rows(BASE_ROWS, SEED))
+    storage = build_cube(schema, table=table).storage
+    planner = CubePlanner(storage, FactCache(schema, table=table))
+    node = CubeNode((1, 0))  # A1 × B0
+    requests = [
+        QueryRequest.of(node, DimensionSlice.of(0, 1, {member}))
+        for member in range(10)
+    ]
+    for request in requests:  # warm the cache
+        planner.answer(request)
+    planner.results.stats.hits = 0
+    planner.results.stats.misses = 0
+
+    started = time.perf_counter()
+    for round_index in range(rounds):
+        # Every delta lands in coarse member 0 (base codes 0..9).
+        delta = _rows(20, SEED + 100 + round_index, a_range=(0, 10))
+        report = apply_delta(storage, schema, table, delta)
+        planner.invalidate_results(report if fine else None)
+        for request in requests:
+            planner.answer(request)
+    elapsed = time.perf_counter() - started
+    stats = planner.results.stats
+    total = stats.hits + stats.misses
+    return {
+        "rounds": rounds,
+        "queries": total,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": round(stats.hits / total, 4) if total else 0.0,
+        "seconds": round(elapsed, 4),
+    }
+
+
+def bench_invalidation() -> dict:
+    fine = _invalidation_arm(fine=True)
+    full = _invalidation_arm(fine=False)
+    return {
+        "fine_grained": fine,
+        "full_drop": full,
+        "hit_rate_gain": round(fine["hit_rate"] - full["hit_rate"], 4),
+    }
+
+
+def run() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench_ingest.") as tmp:
+        throughput = bench_ingest_throughput(Path(tmp))
+    results = {
+        "base_rows": BASE_ROWS,
+        "seed": SEED,
+        "ingest": throughput,
+        "invalidation": bench_invalidation(),
+    }
+    return results
+
+
+# Conservative floors for shared CI runners: local runs sustain roughly
+# 4–7× these (see BENCH_ingest.json for the last recorded numbers).
+FLOORS = {
+    "append_events_per_s": 20_000,
+    "apply_events_per_s": 500,
+}
+MIN_HIT_RATE_GAIN = 0.5
+
+
+def check_floors(results: dict) -> list[str]:
+    failing = [
+        name
+        for name, floor in FLOORS.items()
+        if results["ingest"][name] < floor
+    ]
+    if results["invalidation"]["hit_rate_gain"] < MIN_HIT_RATE_GAIN:
+        failing.append("hit_rate_gain")
+    return failing
+
+
+def test_ingest_floors():
+    """CI acceptance: throughput floors hold and fine-grained invalidation
+    measurably beats the whole-cache drop."""
+    results = run()
+    assert not check_floors(results), results
+    assert (
+        results["invalidation"]["fine_grained"]["hit_rate"]
+        > results["invalidation"]["full_drop"]["hit_rate"]
+    ), results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Streaming-ingest throughput and invalidation hit rates."
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the floors hold",
+    )
+    args = parser.parse_args(argv)
+
+    results = run()
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    if args.check:
+        failing = check_floors(results)
+        for name in failing:
+            print(f"FAIL: {name} below its floor", file=sys.stderr)
+        if failing:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ Public API highlights:
 * :mod:`repro.baselines` — BUC and BU-BST.
 * :class:`repro.DurableCubeBuild` / :func:`repro.verify_cube` — crash-safe
   manifest-driven builds with checkpointed resume (see docs/robustness.md).
+* :class:`repro.StreamingIngestor` / :class:`repro.AppendLog` — crash-safe
+  streaming ingest: a durable append log drained into the cube exactly
+  once under a commit watermark (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.hierarchy.builders import (
     linear_dimension,
 )
 from repro.hierarchy.dimension import Dimension, Level
+from repro.ingest import AppendLog, IngestError, StreamingIngestor
 from repro.lattice.node import CubeNode
 from repro.datasets.loader import DimensionSpec, MeasureSpec, load_csv, load_records
 from repro.query.planner import CubePlanner, QueryRequest, build_indices
@@ -39,6 +43,7 @@ from repro.relational.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "AppendLog",
     "BuildManifest",
     "BuildStats",
     "CubeBundle",
@@ -53,7 +58,9 @@ __all__ = [
     "DimensionSpec",
     "DurableCubeBuild",
     "Engine",
+    "IngestError",
     "MeasureSpec",
+    "StreamingIngestor",
     "QueryRequest",
     "Level",
     "Table",

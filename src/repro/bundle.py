@@ -29,6 +29,11 @@ from repro.relational.table import Table
 BUNDLE_META = "bundle.json"
 FACT_RELATION = "fact"
 CUBE_PREFIX = "cube"
+#: Prefix the ``python -m repro ingest`` command maintains generations
+#: under; when its manifest exists, queries read the committed generation
+#: instead of the originally built ``cube``/``fact`` pair.
+STREAM_PREFIX = "stream"
+STREAM_LOG_DIR = "ingest.log"
 
 
 def _dimension_to_json(dimension: Dimension) -> dict:
@@ -127,18 +132,19 @@ class CubeBundle:
     storage: CubeStorage
     catalog: Catalog
     extra: dict
+    fact_relation: str = FACT_RELATION
 
     def fact_cache(self, fraction: float = 1.0, seed: int = 7) -> FactCache:
         return FactCache(
             self.schema,
-            heap=self.catalog.open(FACT_RELATION),
+            heap=self.catalog.open(self.fact_relation),
             fraction=fraction,
             seed=seed,
         )
 
     @property
     def fact_row_count(self) -> int:
-        return len(self.catalog.open(FACT_RELATION))
+        return len(self.catalog.open(self.fact_relation))
 
     def close(self) -> None:
         self.catalog.close()
@@ -151,16 +157,30 @@ class CubeBundle:
 
 
 def open_bundle(directory: str | Path) -> CubeBundle:
-    """Open a bundle previously written by :func:`save_bundle`."""
+    """Open a bundle previously written by :func:`save_bundle`.
+
+    If the bundle has been streamed into (``python -m repro ingest``),
+    the committed ingest generation supersedes the originally built cube:
+    its manifest names the cube prefix and fact relation to read.
+    """
     root = Path(directory)
     meta_path = root / BUNDLE_META
     if not meta_path.exists():
         raise FileNotFoundError(f"{root} does not contain a cube bundle")
     meta = json.loads(meta_path.read_text())
     schema = schema_from_json(meta["schema"])
+    cube_prefix = CUBE_PREFIX
+    fact_relation = FACT_RELATION
+    ingest_manifest = root / f"{STREAM_PREFIX}.ingest.json"
+    if ingest_manifest.exists():
+        ingest_meta = json.loads(ingest_manifest.read_text())
+        cube_prefix = str(ingest_meta["cube_prefix"])
+        fact_relation = str(ingest_meta["fact_relation"])
     catalog = Catalog(root)
-    storage = CubeStorage.load(catalog, schema, prefix=CUBE_PREFIX)
+    storage = CubeStorage.load(catalog, schema, prefix=cube_prefix)
     storage.row_resolver = lambda rowid: schema.dim_values(
-        catalog.open(FACT_RELATION).read_row(rowid)
+        catalog.open(fact_relation).read_row(rowid)
     )
-    return CubeBundle(root, schema, storage, catalog, meta.get("extra", {}))
+    return CubeBundle(
+        root, schema, storage, catalog, meta.get("extra", {}), fact_relation
+    )

@@ -8,6 +8,7 @@
     python -m repro query --cube cube_dir --group-by Region.country,Product
     python -m repro query --cube cube_dir --group-by Region.country \
         --where Region.country=Greece,France --limit 20
+    python -m repro ingest --cube cube_dir --csv new_rows.csv --batch 256
 
 The spec file describes how raw CSV columns map to dimensions and
 measures::
@@ -24,6 +25,14 @@ measures::
 ``--group-by`` lists ``Dimension.Level`` items (a bare ``Dimension`` means
 its base level); unlisted dimensions are aggregated away.  ``--where``
 restricts a grouped dimension to the named members.
+
+``ingest`` streams new fact rows into an existing bundle through the
+crash-safe append log (docs/robustness.md): each CSV row lists one
+base-level member per dimension (by name or code) followed by the raw
+measure values, in schema order.  Rows are appended in ``--batch``-sized
+durable records, applied exactly once, and committed as a new cube
+generation that later ``query``/``describe`` calls read automatically.
+Re-running after a crash resumes from the last committed watermark.
 """
 
 from __future__ import annotations
@@ -222,6 +231,103 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _parse_delta_csv(schema, path: str) -> list[tuple]:
+    """CSV rows → fact tuples: base members (name or code), then measures."""
+    import csv
+
+    n_dims = schema.n_dimensions
+    expected = n_dims + schema.n_measures
+    rows: list[tuple] = []
+    with open(path, newline="") as handle:
+        for line_no, record in enumerate(csv.reader(handle), start=1):
+            if not record:
+                continue
+            if len(record) != expected:
+                raise SystemExit(
+                    f"{path}:{line_no}: expected {expected} fields "
+                    f"({n_dims} dimensions + {schema.n_measures} measures), "
+                    f"got {len(record)}"
+                )
+            codes = [
+                _member_code(schema.dimensions[d], 0, record[d].strip())
+                for d in range(n_dims)
+            ]
+            try:
+                measures = [int(value) for value in record[n_dims:]]
+            except ValueError:
+                raise SystemExit(
+                    f"{path}:{line_no}: measures must be integers"
+                ) from None
+            rows.append(tuple(codes + measures))
+    return rows
+
+
+def cmd_ingest(args) -> int:
+    from repro.bundle import (
+        BUNDLE_META,
+        FACT_RELATION,
+        STREAM_LOG_DIR,
+        STREAM_PREFIX,
+        schema_from_json,
+    )
+    from repro.ingest import IngestError, StreamingIngestor
+    from repro.relational.engine import Engine
+    from repro.relational.memory import MemoryManager
+
+    root = Path(args.cube)
+    meta_path = root / BUNDLE_META
+    if not meta_path.exists():
+        raise SystemExit(f"{root} does not contain a cube bundle")
+    meta = json.loads(meta_path.read_text())
+    schema = schema_from_json(meta["schema"])
+    delta_rows = _parse_delta_csv(schema, args.csv)
+    plus = "+" in str(meta.get("extra", {}).get("variant", ""))
+    overhead = args.compact_overhead if args.compact_overhead > 0 else None
+    engine = Engine(Catalog(root), MemoryManager())
+    try:
+        try:
+            ingestor = StreamingIngestor.recover(
+                schema, engine, root / STREAM_LOG_DIR, prefix=STREAM_PREFIX
+            )
+            ingestor.compact_overhead = overhead
+        except IngestError:
+            # First ingest into this bundle: the committed baseline is the
+            # bundle's own fact table.
+            fact = engine.catalog.open(FACT_RELATION).load()
+            ingestor = StreamingIngestor.bootstrap(
+                schema,
+                engine,
+                fact,
+                root / STREAM_LOG_DIR,
+                prefix=STREAM_PREFIX,
+                plus=plus,
+                compact_overhead=overhead,
+            )
+        batch = max(1, args.batch)
+        for start in range(0, len(delta_rows), batch):
+            ingestor.append(delta_rows[start : start + batch])
+        ingestor.log.seal()
+        ingestor.apply_ready()
+        ingestor.checkpoint()
+        stats = ingestor.stats
+        print(
+            f"ingested {stats.rows_appended:,} rows "
+            f"({stats.records_appended} log records) into {root}"
+        )
+        print(
+            f"  applied {stats.records_applied} records "
+            f"(watermark lsn {ingestor.applied_lsn}), "
+            f"{stats.compactions} compaction(s)"
+        )
+        print(
+            f"  committed generation {ingestor.generation}; "
+            f"fact rows now {len(ingestor.fact_table):,}"
+        )
+    finally:
+        engine.close()
+    return 0
+
+
 def cmd_verify_cube(args) -> int:
     """Replay a durable build's checksums and row counts; exit 0 iff sound."""
     catalog_root = Path(args.catalog)
@@ -285,6 +391,25 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cache", type=float, default=1.0,
                        help="fact cache fraction in [0, 1]")
     query.set_defaults(handler=cmd_query)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream new fact rows into a bundle via the crash-safe log",
+    )
+    ingest.add_argument("--cube", required=True, help="bundle directory")
+    ingest.add_argument(
+        "--csv", required=True,
+        help="delta rows: base members then measures, in schema order",
+    )
+    ingest.add_argument(
+        "--batch", type=int, default=512,
+        help="rows per durable log record (default 512)",
+    )
+    ingest.add_argument(
+        "--compact-overhead", type=float, default=1.5,
+        help="drift ratio that triggers a compacting rebuild (0 disables)",
+    )
+    ingest.set_defaults(handler=cmd_ingest)
 
     verify = commands.add_parser(
         "verify-cube",

@@ -39,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.model import CubeSchema
-from repro.core.storage import CatFormat, CubeStorage
+from repro.core.storage import VALUE_BYTES, CatFormat, CubeStorage
 from repro.lattice.node import CubeNode
 from repro.lattice.plan import plan_parent
 from repro.relational.aggregates import aggregate_singleton, merge_vectors
@@ -57,6 +57,10 @@ class UpdateReport:
     new_tts: int = 0
     new_nts: int = 0
     nodes_touched: set[int] = field(default_factory=set)
+    #: Base dimension codes of every delta row, for answer-level
+    #: invalidation: a cached *sliced* answer changes only if some delta
+    #: row's projection onto its node satisfies the slice predicate.
+    delta_codes: list[tuple[int, ...]] = field(default_factory=list)
 
 
 @dataclass
@@ -65,6 +69,9 @@ class DriftReport:
 
     updated_bytes: int
     rebuilt_bytes: int
+    #: True when ``rebuilt_bytes`` came from the drift accounting instead
+    #: of an actual from-scratch rebuild (``drift_report(..., exact=False)``).
+    estimated: bool = False
 
     @property
     def overhead_ratio(self) -> float:
@@ -103,26 +110,37 @@ def apply_delta(
     if not delta_rows:
         return report
 
+    # Validate the whole delta before mutating anything.  A bad row must
+    # leave the fact table and the cube exactly as they were: a rejected
+    # delta is a no-op, never a partial append with bitmaps already torn
+    # down and ``plus_processed`` cleared.
+    for row in delta_rows:
+        schema.fact_schema.validate_row(row)
+    report.delta_codes = [schema.dim_values(row) for row in delta_rows]
+
     # A CURE+ cube keeps some relations as bitmaps and relies on sorted
     # row-id lists; updates append out of order, so materialize bitmaps
     # back to lists and drop the plus property (re-run
     # :func:`repro.core.postprocess.postprocess_plus` afterwards to
-    # restore it).
+    # restore it).  Cached matrix views are dropped only where a bitmap
+    # actually converted: the caches are length-keyed, so plain appends
+    # re-key naturally and the in-place NT rewrites are invalidated
+    # per node below — untouched nodes keep their views warm.
     for store in storage.nodes.values():
-        store.invalidate_matrices()
         if store.tt_bitmap is not None:
             store.tt_rowids = list(store.tt_bitmap.iter_set())
             store.tt_bitmap = None
+            store.invalidate_matrices()
         if store.cat_bitmap is not None:
             store.cat_rows = [
                 (arowid,) for arowid in store.cat_bitmap.iter_set()
             ]
             store.cat_bitmap = None
+            store.invalidate_matrices()
     storage.plus_processed = False
 
     base_rowid = len(fact_table)
     for row in delta_rows:
-        schema.fact_schema.validate_row(row)
         fact_table.append(row)
     storage.fact_row_count = len(fact_table)
 
@@ -130,18 +148,43 @@ def apply_delta(
     merger.flatten_delta(delta_rows, base_rowid)
     merger.devalue_touched_tts()
     merger.merge_delta()
+    for node_id in sorted(merger.rewritten_nodes):
+        rewritten = storage.get_node_store(node_id)
+        if rewritten is not None:
+            rewritten.invalidate_matrices()
     return report
 
 
 def drift_report(
-    storage: CubeStorage, schema: CubeSchema, fact_table: Table
+    storage: CubeStorage,
+    schema: CubeSchema,
+    fact_table: Table,
+    exact: bool = True,
 ) -> DriftReport:
-    """Compare the updated cube's size with a from-scratch rebuild."""
+    """Compare the updated cube's size with a from-scratch rebuild.
+
+    ``exact=False`` skips the rebuild and *estimates* its size from the
+    drift bytes :func:`apply_delta` accrues at each CAT demotion (the one
+    systematic source of space overhead: a demoted CAT keeps an orphaned
+    or oversized footprint a rebuild would recondense).  The estimate is
+    deterministic and O(1), cheap enough to evaluate after every batch as
+    a compaction trigger; it understates true drift — orphaned AGGREGATES
+    rows and missed CAT-sharing opportunities are not accounted — so a
+    threshold tuned against :attr:`DriftReport.overhead_ratio` fires no
+    earlier than the exact report would.
+    """
+    updated = storage.size_report().total_bytes
+    if not exact:
+        return DriftReport(
+            updated_bytes=updated,
+            rebuilt_bytes=max(updated - storage.update_drift_bytes, 0),
+            estimated=True,
+        )
     from repro.core.cure import build_cube
 
     rebuilt = build_cube(schema, table=fact_table, flat=storage.flat)
     return DriftReport(
-        updated_bytes=storage.size_report().total_bytes,
+        updated_bytes=updated,
         rebuilt_bytes=rebuilt.storage.size_report().total_bytes,
     )
 
@@ -163,6 +206,9 @@ class _Merger:
         self._groups: dict[int, dict[tuple, tuple[str, int]]] = {}
         # rowid -> base dimension codes (TT rows project at many nodes)
         self._base_codes: dict[int, tuple[int, ...]] = {}
+        # Nodes whose NT relation was rewritten *in place* (same length),
+        # which the length-keyed matrix caches cannot detect on their own.
+        self.rewritten_nodes: set[int] = set()
 
     # -- structure ---------------------------------------------------------------
 
@@ -349,9 +395,17 @@ class _Merger:
             )
             store.nt_rows[position] = (min(row[0], rowid),) + merged
             self.report.nts_merged += 1
+            self.rewritten_nodes.add(self.schema.node_id(node))
             return
         # CAT demotion: detach from the shared AGGREGATES row, merge, and
-        # store as a plain NT (the open part of the paper's plan).
+        # store as a plain NT (the open part of the paper's plan).  The
+        # NT row is wider than the CAT row it replaces (and the shared
+        # AGGREGATES row it referenced may end up orphaned); account that
+        # growth so the cheap drift estimate can trigger compaction.
+        cat_values = (
+            1 if self.storage.cat_format is CatFormat.COMMON_SOURCE else 2
+        )
+        self.storage.update_drift_bytes += (1 + y - cat_values) * VALUE_BYTES
         cat_row = store.cat_rows.pop(position)
         if self.storage.cat_format is CatFormat.COMMON_SOURCE:
             entry = self.storage.aggregates_rows[cat_row[0]]

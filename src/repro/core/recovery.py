@@ -97,6 +97,45 @@ class ManifestError(RuntimeError):
     """The build manifest is missing, incompatible, or contradicts disk."""
 
 
+def publish_storage(
+    catalog: Catalog, storage: CubeStorage, prefix: str
+) -> tuple[dict[str, str], dict[str, int], str]:
+    """Atomically publish an in-memory cube under ``prefix``.
+
+    The shared Stage C discipline: sweep staging leftovers from any
+    crashed attempt, persist every relation to ``<prefix>.wip`` names,
+    promote each with an atomic rename, and copy the metadata side file
+    last.  Returns ``(files, row_counts, meta_text)`` — per-relation
+    checksums and cardinalities plus the metadata text — for the caller's
+    manifest, whose save is the commit point.  Used by the build's final
+    commit and by the streaming ingestor's generation checkpoints, so
+    both paths inherit the same crash windows and the same repair.
+    """
+    staging = f"{prefix}{_STAGING_SUFFIX}"
+    for name in catalog.names():
+        if name.startswith(f"{staging}."):
+            catalog.drop(name)
+    remove_file(catalog.root / f"{staging}.meta.json")
+    # Clear final names from any earlier (possibly crashed) commit so
+    # stale node relations cannot shadow the new cube.
+    for name in catalog.names():
+        if name.startswith(f"{prefix}.n") or name == f"{prefix}.aggregates":
+            catalog.drop(name)
+
+    staged = storage.persist(catalog, staging)
+    files: dict[str, str] = {}
+    row_counts: dict[str, int] = {}
+    for name in staged:
+        final = prefix + name[len(staging):]
+        catalog.publish(name, final)
+        files[final] = catalog.checksum(final)
+        row_counts[final] = len(catalog.open(final))
+    meta_text = (catalog.root / f"{staging}.meta.json").read_text()
+    atomic_write_text(catalog.root / f"{prefix}.meta.json", meta_text)
+    remove_file(catalog.root / f"{staging}.meta.json")
+    return files, row_counts, meta_text
+
+
 def _stats_to_json(stats: BuildStats) -> dict[str, Any]:
     return asdict(stats)
 
@@ -544,28 +583,9 @@ class DurableCubeBuild:
         """Stage C: publish every cube relation atomically, flip to complete."""
         catalog = self.engine.catalog
         maybe_fire(catalog.faults, f"commit.final:{self.prefix}")
-        staging = f"{self.prefix}{_STAGING_SUFFIX}"
-        self._drop_prefixed(f"{staging}.")
-        remove_file(catalog.root / f"{staging}.meta.json")
-        # Clear final names from any earlier (possibly crashed) commit so
-        # stale node relations cannot shadow the new cube.
-        for name in catalog.names():
-            if name.startswith(f"{self.prefix}.n") or name == f"{self.prefix}.aggregates":
-                catalog.drop(name)
-
-        staged = storage.persist(catalog, staging)
-        files: dict[str, str] = {}
-        row_counts: dict[str, int] = {}
-        for name in staged:
-            final = self.prefix + name[len(staging):]
-            catalog.publish(name, final)
-            files[final] = catalog.checksum(final)
-            row_counts[final] = len(catalog.open(final))
-        meta_text = (catalog.root / f"{staging}.meta.json").read_text()
-        atomic_write_text(
-            catalog.root / f"{self.prefix}.meta.json", meta_text
+        files, row_counts, meta_text = publish_storage(
+            catalog, storage, self.prefix
         )
-        remove_file(catalog.root / f"{staging}.meta.json")
 
         manifest.final = {
             "files": files,

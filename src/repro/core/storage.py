@@ -200,6 +200,11 @@ class CubeStorage:
     fact_row_count: int = 0
     row_resolver: Callable[[int], tuple[int, ...]] | None = None
     plus_processed: bool = False
+    # Logical bytes of space overhead accrued by incremental maintenance
+    # (CAT demotions) since the last from-scratch build; lets
+    # ``drift_report(exact=False)`` estimate a rebuild's size without
+    # running one.  Reset to zero by construction (fresh storage).
+    update_drift_bytes: int = 0
     _aggregates_matrix: np.ndarray | None = field(
         default=None, repr=False, compare=False
     )
@@ -423,6 +428,7 @@ class CubeStorage:
             "partition_level2": self.partition_level2,
             "plus_processed": self.plus_processed,
             "fact_row_count": self.fact_row_count,
+            "update_drift_bytes": self.update_drift_bytes,
             "node_ids": sorted(self.nodes),
         }
         maybe_fire(catalog.faults, f"storage.meta:{prefix}")
@@ -446,6 +452,7 @@ class CubeStorage:
             fact_row_count=meta["fact_row_count"],
         )
         storage.plus_processed = meta.get("plus_processed", False)
+        storage.update_drift_bytes = meta.get("update_drift_bytes", 0)
         if meta["cat_format"] is not None:
             storage.cat_format = CatFormat(meta["cat_format"])
         # Columnar reload: each relation is read through the zero-copy

@@ -13,9 +13,9 @@ Fault kinds:
 * ``CRASH`` — raise :class:`InjectedCrash`: the process dies here.  On-disk
   state is whatever the build had *committed*; everything else is garbage
   the resume path must ignore.
-* ``TORN_WRITE`` — at a ``heap.write`` site, persist only a prefix of the
-  payload and then crash (power loss mid-``write``).  At any other site it
-  degrades to ``CRASH``.
+* ``TORN_WRITE`` — at a ``heap.write`` or ``ingest.append`` site, persist
+  only a prefix of the payload and then crash (power loss mid-``write``).
+  At any other site it degrades to ``CRASH``.
 * ``TRANSIENT`` — raise :class:`TransientIOError` for ``times`` consecutive
   matching events, then succeed; exercised against the bounded-retry
   wrapper.
@@ -59,8 +59,17 @@ SITE_FAMILIES: frozenset[str] = frozenset(
         "checkpoint.write",
         "commit.final",
         "storage.meta",
+        "ingest.append",
+        "ingest.seal",
+        "ingest.apply",
+        "ingest.compact",
     }
 )
+
+#: Site families whose writer implements the torn-write protocol (persist
+#: a prefix of the payload, then crash).  Everywhere else TORN_WRITE
+#: degrades to a plain CRASH.
+_TORN_CAPABLE_PREFIXES = ("heap.write", "ingest.append")
 
 
 class FaultKind(enum.Enum):
@@ -157,7 +166,9 @@ class FaultInjector:
             self.fired.append(f"{spec.kind.value}@{site}")
             if spec.kind is FaultKind.MEMORY_SHOCK:
                 raise MemoryBudgetExceeded(f"injected memory shock at {site}")
-            if spec.kind is FaultKind.TORN_WRITE and site.startswith("heap.write"):
+            if spec.kind is FaultKind.TORN_WRITE and site.startswith(
+                _TORN_CAPABLE_PREFIXES
+            ):
                 raise TornWrite(spec.keep_fraction)
             raise InjectedCrash(f"injected crash at {site}")
 

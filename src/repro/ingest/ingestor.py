@@ -1,0 +1,469 @@
+"""Exactly-once delta application under a durable commit watermark.
+
+The :class:`StreamingIngestor` is the consumer side of the ingest loop:
+it drains *sealed* records from the :class:`~repro.ingest.log.AppendLog`
+through :func:`repro.core.incremental.apply_delta`, and periodically
+checkpoints the maintained cube (plus its fact table) to the catalog
+under a *generation-numbered* prefix — ``<prefix>.g<k>.*`` — using the
+same staged-publish discipline as
+:func:`repro.core.recovery.publish_storage`.
+
+**The watermark protocol.**  The ingest manifest
+(``<prefix>.ingest.json``) is the single commit point.  It records the
+current generation, the checksums of every relation in it, and
+``applied_lsn`` — the LSN of the last log record folded into that
+generation.  All maintenance between checkpoints happens in memory;
+nothing the applier does before the manifest flips is observable after a
+crash.  Recovery therefore has one shape regardless of where the crash
+landed: verify and load the generation the manifest names, re-open the
+log (which repairs its own torn tail), and re-apply every sealed record
+past ``applied_lsn``.  A record is applied exactly once per surviving
+generation — never zero times (it is sealed and durable before it is
+eligible) and never twice (the watermark moves with the generation that
+absorbed it) — and because :func:`apply_delta`, CURE+ post-processing,
+and the drift-driven compaction decision are all deterministic, the
+recovered cube is byte-identical to an uninterrupted run.
+
+**Compaction.**  Incremental maintenance drifts the cube away from the
+fully condensed form (demoted CATs, localized TTs).  When the cheap
+drift estimate (``drift_report(exact=False)``) crosses
+``compact_overhead``, the ingestor republishes the fact table, rebuilds
+through :class:`~repro.core.recovery.DurableCubeBuild`, atomically swaps
+generations, and truncates the log behind the watermark.  The estimate
+is computed from persisted accounting, so replay after a crash makes the
+identical per-record compaction decisions.
+
+A crash *before the first manifest commit* leaves nothing to recover;
+:meth:`StreamingIngestor.recover` raises :class:`IngestError` and the
+caller bootstraps again from its source fact table — the standard
+commit-point semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.cure import build_cube
+from repro.core.incremental import apply_delta, drift_report
+from repro.core.model import CubeSchema
+from repro.core.postprocess import postprocess_plus
+from repro.core.recovery import BuildManifest, DurableCubeBuild, publish_storage
+from repro.core.storage import CubeStorage
+from repro.ingest.log import AppendLog
+from repro.relational.durable import (
+    atomic_write_text,
+    maybe_fire,
+    remove_file,
+    text_checksum,
+)
+from repro.relational.engine import Engine
+from repro.relational.table import Table
+
+if TYPE_CHECKING:
+    from repro.query.planner import CubePlanner
+
+INGEST_MANIFEST_VERSION = 1
+
+
+class IngestError(RuntimeError):
+    """The ingest state is unusable: no committed generation, a verification
+    failure, or a configuration the maintainer cannot stream into."""
+
+
+@dataclass
+class IngestStats:
+    """Counters over one ingestor's lifetime (not persisted)."""
+
+    records_appended: int = 0
+    rows_appended: int = 0
+    records_applied: int = 0
+    rows_applied: int = 0
+    checkpoints: int = 0
+    compactions: int = 0
+    results_dropped: int = 0
+
+
+@dataclass
+class StreamingIngestor:
+    """Maintains one cube from an append log, exactly-once.
+
+    Construct via :meth:`bootstrap` (fresh) or :meth:`recover` (after a
+    crash); both leave the watermark drained.  Attach a
+    :class:`~repro.query.planner.CubePlanner` via ``planner`` to get
+    fine-grained result-cache invalidation after every applied record
+    (and a storage re-point after compaction).
+
+    Requirements mirror :func:`apply_delta`: a non-DR, non-partitioned
+    cube with all-distributive aggregates, and a fact table that fits in
+    memory (the ingestor owns the authoritative in-memory copy).
+    """
+
+    schema: CubeSchema
+    engine: Engine
+    log: AppendLog
+    storage: CubeStorage
+    fact_table: Table
+    prefix: str = "stream"
+    planner: "CubePlanner | None" = field(default=None, repr=False)
+    plus: bool = False
+    compact_overhead: float | None = None
+    generation: int = -1
+    applied_lsn: int = -1
+    stats: IngestStats = field(default_factory=IngestStats)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def bootstrap(
+        cls,
+        schema: CubeSchema,
+        engine: Engine,
+        fact_table: Table,
+        log_root: str | Path,
+        *,
+        prefix: str = "stream",
+        plus: bool = False,
+        compact_overhead: float | None = None,
+        seal_records: int = 64,
+    ) -> "StreamingIngestor":
+        """Build the initial cube and commit generation 0.
+
+        The build itself is in-memory; the checkpoint at the end is the
+        first durable commit.  Any sealed records already in the log
+        (from a producer that outran a crashed bootstrap) are applied
+        once the commit lands.
+        """
+        result = build_cube(schema, table=fact_table)
+        if result.storage.partition_level is not None:
+            raise IngestError(
+                "streaming maintenance needs a non-partitioned cube"
+            )
+        if plus:
+            postprocess_plus(result.storage)
+        log = AppendLog.open(
+            log_root,
+            faults=engine.catalog.faults,
+            seal_records=seal_records,
+            retry_policy=engine.retry_policy,
+        )
+        ingestor = cls(
+            schema=schema,
+            engine=engine,
+            log=log,
+            storage=result.storage,
+            fact_table=fact_table,
+            prefix=prefix,
+            plus=plus,
+            compact_overhead=compact_overhead,
+        )
+        ingestor.storage.row_resolver = ingestor._resolver()
+        ingestor.checkpoint()
+        ingestor.apply_ready()
+        return ingestor
+
+    @classmethod
+    def recover(
+        cls,
+        schema: CubeSchema,
+        engine: Engine,
+        log_root: str | Path,
+        *,
+        prefix: str = "stream",
+        seal_records: int = 64,
+    ) -> "StreamingIngestor":
+        """Reload the last committed generation and replay past it.
+
+        Every artifact the manifest names is *verified* (checksums, row
+        counts) before it is trusted; the log repairs its own torn tail
+        on open; stale generations from crashed checkpoints are swept.
+        Raises :class:`IngestError` when no generation ever committed —
+        the caller bootstraps from its source data instead.
+        """
+        catalog = engine.catalog
+        manifest_path = catalog.root / f"{prefix}.ingest.json"
+        if not manifest_path.exists():
+            raise IngestError(
+                f"no ingest manifest at {manifest_path}; nothing committed "
+                f"— bootstrap from the source fact table instead"
+            )
+        payload = json.loads(manifest_path.read_text())
+        if payload.get("version") != INGEST_MANIFEST_VERSION:
+            raise IngestError(
+                f"ingest manifest at {manifest_path} has an unsupported "
+                f"version"
+            )
+        cube_prefix = str(payload["cube_prefix"])
+        fact_relation = str(payload["fact_relation"])
+        problems: list[str] = []
+        for name, checksum in dict(payload["files"]).items():
+            if not catalog.exists(name):
+                problems.append(f"missing relation {name!r}")
+            elif catalog.checksum(name) != checksum:
+                problems.append(f"checksum mismatch for {name!r}")
+        meta_path = catalog.root / f"{cube_prefix}.meta.json"
+        if not meta_path.exists():
+            problems.append(f"missing cube metadata {meta_path.name!r}")
+        elif text_checksum(meta_path.read_text()) != payload["meta_checksum"]:
+            problems.append(f"checksum mismatch for {meta_path.name!r}")
+        if catalog.checksum(fact_relation) != payload["fact_checksum"]:
+            problems.append(f"checksum mismatch for fact {fact_relation!r}")
+        if problems:
+            raise IngestError(
+                "committed ingest generation fails verification: "
+                + "; ".join(problems)
+            )
+        fact_table = catalog.open(fact_relation).load()
+        if len(fact_table) != int(payload["fact_rows"]):
+            raise IngestError(
+                f"fact relation {fact_relation!r} has {len(fact_table)} "
+                f"rows; the manifest recorded {payload['fact_rows']}"
+            )
+        storage = CubeStorage.load(catalog, schema, cube_prefix)
+        log = AppendLog.open(
+            log_root,
+            faults=catalog.faults,
+            seal_records=seal_records,
+            retry_policy=engine.retry_policy,
+        )
+        ingestor = cls(
+            schema=schema,
+            engine=engine,
+            log=log,
+            storage=storage,
+            fact_table=fact_table,
+            prefix=prefix,
+            plus=bool(payload["plus"]),
+            compact_overhead=payload["compact_overhead"],
+            generation=int(payload["generation"]),
+            applied_lsn=int(payload["applied_lsn"]),
+        )
+        storage.row_resolver = ingestor._resolver()
+        if ingestor.plus:
+            # Restore the in-memory CURE+ representation (persisted cubes
+            # materialize bitmaps back to sorted lists): the conversion
+            # rule is deterministic, so this recreates exactly the state
+            # an uninterrupted run holds — including the size accounting
+            # the compaction trigger reads.
+            postprocess_plus(storage)
+        ingestor._sweep_stale_generations()
+        ingestor.apply_ready()
+        return ingestor
+
+    # -- producing ----------------------------------------------------------
+
+    def append(self, rows: list[tuple]) -> int:
+        """Validate a batch against the fact schema and log it durably.
+
+        Validation happens *before* the append so the log never carries a
+        record :func:`apply_delta` would reject; returns the record's LSN.
+        """
+        checked = [tuple(row) for row in rows]
+        for row in checked:
+            self.schema.fact_schema.validate_row(row)
+        lsn = self.log.append(checked)
+        self.stats.records_appended += 1
+        self.stats.rows_appended += len(checked)
+        return lsn
+
+    # -- applying -----------------------------------------------------------
+
+    def apply_ready(self) -> int:
+        """Fold every sealed record past the watermark into the cube.
+
+        Records apply in LSN order; after each one the CURE+ property is
+        restored (if enabled), the planner's result cache is invalidated
+        fine-grainedly from the delta's dimension codes, and the drift
+        trigger is evaluated — per record, so replay after a crash makes
+        the identical compaction decisions at the identical points.
+        Returns the number of records applied.
+        """
+        catalog = self.engine.catalog
+        # Materialize first: compaction inside the loop truncates the log
+        # behind the watermark, and the records already sealed are
+        # immutable either way.
+        records = list(self.log.sealed_records(self.applied_lsn))
+        for record in records:
+            maybe_fire(catalog.faults, f"ingest.apply:{record.lsn}")
+            report = apply_delta(
+                self.storage,
+                self.schema,
+                self.fact_table,
+                [tuple(row) for row in record.rows],
+            )
+            if self.plus:
+                postprocess_plus(self.storage)
+            self.applied_lsn = record.lsn
+            self.stats.records_applied += 1
+            self.stats.rows_applied += len(record.rows)
+            if self.planner is not None:
+                self.stats.results_dropped += self.planner.invalidate_results(
+                    report
+                )
+            self._maybe_compact()
+        return len(records)
+
+    def _maybe_compact(self) -> None:
+        if self.compact_overhead is None:
+            return
+        report = drift_report(
+            self.storage, self.schema, self.fact_table, exact=False
+        )
+        if report.overhead_ratio > self.compact_overhead:
+            self.compact()
+
+    # -- committing ---------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Publish the maintained cube and fact table as a new generation.
+
+        Staged publishes (``publish_storage`` for the cube, a ``.wip``
+        relation for the fact) mean a crash mid-checkpoint leaves only
+        sweepable garbage; the ingest-manifest write at the end is the
+        commit, after which the log is truncated behind the watermark and
+        the previous generation is dropped.
+        """
+        catalog = self.engine.catalog
+        new_gen = self.generation + 1
+        cube_prefix = self._cube_prefix(new_gen)
+        maybe_fire(catalog.faults, f"checkpoint.write:{cube_prefix}")
+        self._drop_generation(new_gen)
+        fact_relation = f"{cube_prefix}.fact"
+        self._publish_fact(fact_relation)
+        files, _row_counts, meta_text = publish_storage(
+            catalog, self.storage, cube_prefix
+        )
+        self.stats.checkpoints += 1
+        self._flip_generation(
+            new_gen, cube_prefix, fact_relation, files, text_checksum(meta_text)
+        )
+
+    def compact(self) -> None:
+        """Rebuild the cube from the current facts and swap generations.
+
+        The fact table is republished first, the rebuild runs under
+        :class:`DurableCubeBuild` (inheriting its staged-commit crash
+        windows), and the manifest flip retires the drifted generation.
+        The rebuilt cube has zero drift, so the trigger re-arms cleanly.
+        """
+        catalog = self.engine.catalog
+        new_gen = self.generation + 1
+        cube_prefix = self._cube_prefix(new_gen)
+        maybe_fire(catalog.faults, f"ingest.compact:{cube_prefix}")
+        self._drop_generation(new_gen)
+        fact_relation = f"{cube_prefix}.fact"
+        self._publish_fact(fact_relation)
+        build = DurableCubeBuild(
+            self.schema, self.engine, fact_relation, prefix=cube_prefix
+        )
+        result = build.build()
+        storage = result.storage
+        if storage.partition_level is not None:
+            raise IngestError(
+                "compaction produced a partitioned cube (the fact table "
+                "outgrew the memory budget); streaming maintenance needs "
+                "the TT chain intact — raise the budget or rebuild offline"
+            )
+        storage.row_resolver = self._resolver()
+        if self.plus:
+            postprocess_plus(storage)
+        self.storage = storage
+        if self.planner is not None:
+            self.planner.storage = storage
+            self.stats.results_dropped += self.planner.invalidate_results()
+        manifest = BuildManifest.load(build.manifest_path)
+        final = manifest.final or {}
+        files = {
+            str(name): str(checksum)
+            for name, checksum in dict(final.get("files", {})).items()
+        }
+        self.stats.compactions += 1
+        self._flip_generation(
+            new_gen,
+            cube_prefix,
+            fact_relation,
+            files,
+            str(final.get("meta_checksum", "")),
+        )
+
+    def _flip_generation(
+        self,
+        new_gen: int,
+        cube_prefix: str,
+        fact_relation: str,
+        files: dict[str, str],
+        meta_checksum: str,
+    ) -> None:
+        """Write the ingest manifest (THE commit point), then collect garbage."""
+        catalog = self.engine.catalog
+        payload = {
+            "version": INGEST_MANIFEST_VERSION,
+            "prefix": self.prefix,
+            "generation": new_gen,
+            "cube_prefix": cube_prefix,
+            "fact_relation": fact_relation,
+            "applied_lsn": self.applied_lsn,
+            "plus": self.plus,
+            "compact_overhead": self.compact_overhead,
+            "files": files,
+            "meta_checksum": meta_checksum,
+            "fact_checksum": catalog.checksum(fact_relation),
+            "fact_rows": len(self.fact_table),
+        }
+        atomic_write_text(self.manifest_path, json.dumps(payload, sort_keys=True))
+        maybe_fire(catalog.faults, f"manifest.save:{self.prefix}.ingest")
+        old_gen = self.generation
+        self.generation = new_gen
+        # Behind the commit point: everything from here is garbage
+        # collection a crash can leave half-done without consequence.
+        self.log.truncate_behind(self.applied_lsn)
+        if old_gen >= 0:
+            self._drop_generation(old_gen)
+
+    # -- geometry and GC ----------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.engine.catalog.root / f"{self.prefix}.ingest.json"
+
+    def _cube_prefix(self, generation: int) -> str:
+        return f"{self.prefix}.g{generation}"
+
+    def _resolver(self):
+        fact_table = self.fact_table
+        schema = self.schema
+        return lambda rowid: schema.dim_values(fact_table[rowid])
+
+    def _publish_fact(self, fact_relation: str) -> None:
+        catalog = self.engine.catalog
+        staged = f"{fact_relation}.wip"
+        if catalog.exists(staged):
+            catalog.drop(staged)
+        self.engine.store_table(staged, self.fact_table)
+        catalog.publish(staged, fact_relation)
+
+    def _drop_generation(self, generation: int) -> None:
+        """Remove every artifact of one generation (idempotent sweep)."""
+        catalog = self.engine.catalog
+        cube_prefix = self._cube_prefix(generation)
+        for name in catalog.names():
+            if name.startswith(cube_prefix + "."):
+                catalog.drop(name)
+        remove_file(catalog.root / f"{cube_prefix}.meta.json")
+        remove_file(catalog.root / f"{cube_prefix}.wip.meta.json")
+        remove_file(catalog.root / f"{cube_prefix}.manifest.json")
+
+    def _sweep_stale_generations(self) -> None:
+        """Drop generations other than the committed one (crash leftovers)."""
+        catalog = self.engine.catalog
+        pattern = re.compile(rf"^{re.escape(self.prefix)}\.g(\d+)\.")
+        stale: set[int] = set()
+        for name in catalog.names():
+            match = pattern.match(name)
+            if match and int(match.group(1)) != self.generation:
+                stale.add(int(match.group(1)))
+        for generation in sorted(stale):
+            self._drop_generation(generation)

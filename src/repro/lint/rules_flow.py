@@ -43,7 +43,14 @@ from repro.lint.rules import ModuleContext, Rule, Violation, dotted_name
 
 #: The audited durability primitives every on-disk mutation flows through.
 DURABLE_PRIMITIVES = frozenset(
-    {"atomic_write_bytes", "atomic_write_text", "publish_file", "remove_file"}
+    {
+        "atomic_write_bytes",
+        "atomic_write_text",
+        "append_bytes",
+        "truncate_file",
+        "publish_file",
+        "remove_file",
+    }
 )
 
 #: Call names that mark a fault-injection point, with the index of the
@@ -55,6 +62,17 @@ R12_ENTRY_SUFFIXES = ("process_partition", "run_partition_pair")
 R13_ENTRY_SUFFIXES = R12_ENTRY_SUFFIXES + (
     "DurableCubeBuild.build",
     "DurableCubeBuild.resume",
+    # Ingest forward paths.  ``AppendLog.open`` / ``StreamingIngestor``
+    # bootstrap-and-recover are deliberately absent: their extra work is
+    # crash *repair*, which the harness always runs fault-free (one
+    # injected fault per run), so its primitives carry no sites.
+    "AppendLog.append",
+    "AppendLog.seal",
+    "AppendLog.truncate_behind",
+    "StreamingIngestor.append",
+    "StreamingIngestor.apply_ready",
+    "StreamingIngestor.checkpoint",
+    "StreamingIngestor.compact",
 )
 
 _LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock"})

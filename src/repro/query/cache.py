@@ -192,5 +192,20 @@ class ResultCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def invalidate(self, stale) -> int:
+        """Drop every entry for which ``stale(node_id, slices)`` is true.
+
+        The fine-grained path after incremental maintenance: the planner
+        supplies a predicate derived from the delta's dimension codes, and
+        entries the delta provably cannot have changed stay resident.
+        Returns the number of entries dropped.
+        """
+        doomed = [
+            key for key in self._entries if stale(key[0], key[1])
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
     def __len__(self) -> int:
         return len(self._entries)

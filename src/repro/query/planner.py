@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.incremental import UpdateReport
 from repro.core.storage import CubeStorage
 from repro.lattice.node import CubeNode
 from repro.query.answer import (
@@ -153,15 +154,41 @@ class CubePlanner:
             results.put(node_id, request.slices, answer)
         return answer
 
-    def invalidate_results(self) -> None:
-        """Drop every memoized answer (call after incremental maintenance).
+    def invalidate_results(self, report: UpdateReport | None = None) -> int:
+        """Drop memoized answers a delta could have changed.
 
-        An appended delta can touch *every* node's answer (each new fact
-        contributes to all 2^n groupings), so whole-cache invalidation is
-        the correct granularity, not a per-node one.
+        Without a report every entry drops — the conservative whole-cache
+        behaviour.  With one, invalidation is slice-driven: an *unsliced*
+        answer changes with every appended row (each new fact contributes
+        to all 2^n groupings, so per-node filtering on ``nodes_touched``
+        alone would drop everything), but a *sliced* answer only changes
+        when some delta row's projection onto the node's grouping
+        dimensions satisfies the slice predicate.  Result entries for
+        untouched lattice regions — slices the delta never lands in —
+        survive the update.  Returns the number of entries dropped.
         """
-        if self.results is not None:
+        if self.results is None:
+            return 0
+        if report is not None and report.delta_rows == 0:
+            return 0
+        if report is None or not report.delta_codes:
+            dropped = len(self.results)
             self.results.clear()
+            return dropped
+        schema = self.storage.schema
+        delta_codes = report.delta_codes
+
+        def stale(node_id: int, slices: tuple[DimensionSlice, ...]) -> bool:
+            if not slices:
+                return True
+            node = schema.decode_node(node_id)
+            accepts = slice_predicate(schema, node, slices)
+            return any(
+                accepts(schema.project_to_node(codes, node))
+                for codes in delta_codes
+            )
+
+        return self.results.invalidate(stale)
 
     def _execute(
         self, request: QueryRequest, stats: QueryStats | None

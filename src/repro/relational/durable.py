@@ -137,6 +137,36 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     atomic_write_bytes(path, text.encode("utf-8"))
 
 
+def append_bytes(path: str | Path, data: bytes) -> None:
+    """Durably append ``data`` to the end of ``path`` (created if absent).
+
+    The write is flushed and ``fsync``'d before returning, so a record
+    appended through this primitive is on stable storage when the call
+    completes.  Appends are *not* atomic the way :func:`atomic_write_bytes`
+    is — a crash mid-append can leave a torn tail — so callers must frame
+    records with lengths and checksums and truncate the tail on open (the
+    ingest log's protocol).
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "ab") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def truncate_file(path: str | Path, length: int) -> None:
+    """Durably truncate ``path`` to its first ``length`` bytes.
+
+    Used to cut a torn tail off an append log segment; the shrink is
+    flushed through the same handle before returning.
+    """
+    with open(Path(path), "r+b") as handle:
+        handle.truncate(length)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 def publish_file(tmp_path: str | Path, final_path: str | Path) -> None:
     """Durably promote an already-written file to its final name.
 

@@ -234,3 +234,77 @@ def test_partitioned_iceberg_matches_in_memory(paper_schema, tmp_path):
         )
         assert a == b, node.label(paper_schema.dimensions)
     engine.close()
+
+def _cube_snapshot(storage):
+    """Everything a rejected delta must leave untouched."""
+    nodes = {}
+    for node_id, store in sorted(storage.nodes.items()):
+        nodes[node_id] = (
+            tuple(store.nt_rows),
+            tuple(store.tt_rowids),
+            tuple(store.tt_bitmap.iter_set())
+            if store.tt_bitmap is not None
+            else None,
+            tuple(store.cat_rows),
+            tuple(store.cat_bitmap.iter_set())
+            if store.cat_bitmap is not None
+            else None,
+        )
+    return (
+        nodes,
+        tuple(storage.aggregates_rows),
+        storage.plus_processed,
+        storage.update_drift_bytes,
+    )
+
+
+def test_rejected_delta_is_a_noop(paper_schema):
+    """A delta with one bad row must not mutate the cube or the fact table,
+    even when the bad row comes after valid ones (the historical bug:
+    validation ran inside the append loop, so a mid-delta rejection left
+    the fact table partially extended)."""
+    from repro.core.postprocess import postprocess_plus
+
+    base, delta = make_instance(paper_schema, 100, 6, seed=12)
+    result = build_cube(paper_schema, table=base)
+    postprocess_plus(result.storage)
+    poisoned = delta[:4] + [(0, 0, 0)] + delta[4:]  # bad arity at index 4
+    fact_rows_before = len(base)
+    snapshot = _cube_snapshot(result.storage)
+    with pytest.raises(ValueError, match="arity"):
+        apply_delta(result.storage, paper_schema, base, poisoned)
+    assert len(base) == fact_rows_before
+    assert _cube_snapshot(result.storage) == snapshot
+    assert result.storage.plus_processed  # still a valid CURE+ cube
+    # The cube is fully usable: the same delta minus the bad row applies.
+    apply_delta(result.storage, paper_schema, base, delta)
+    assert_equals_reference(paper_schema, base, result.storage)
+
+
+def test_drift_estimate_tracks_exact_report(paper_schema):
+    """The accounting-based estimate needs no rebuild, carries the
+    ``estimated`` flag, and stays a lower bound on the exact overhead."""
+    base, _d = make_instance(paper_schema, 150, 0, seed=13)
+    result = build_cube(paper_schema, table=base)
+
+    fresh = drift_report(result.storage, paper_schema, base, exact=False)
+    assert fresh.estimated
+    assert fresh.overhead_ratio == 1.0  # zero recorded drift after a build
+
+    rng = random.Random(14)
+    for _ in range(5):
+        delta = [
+            (rng.randrange(12), rng.randrange(8), rng.randrange(5),
+             rng.randrange(30))
+            for _ in range(20)
+        ]
+        apply_delta(result.storage, paper_schema, base, delta)
+    estimate = drift_report(result.storage, paper_schema, base, exact=False)
+    exact = drift_report(result.storage, paper_schema, base)
+    assert estimate.estimated and not exact.estimated
+    assert estimate.updated_bytes == exact.updated_bytes
+    assert result.storage.update_drift_bytes > 0
+    assert estimate.overhead_ratio > 1.0
+    # The estimate only accounts CAT demotions, so it can under- but
+    # never over-shoot the exact ratio.
+    assert estimate.overhead_ratio <= exact.overhead_ratio + 1e-9

@@ -1,0 +1,239 @@
+"""Unit tests for the streaming ingestor: watermark, compaction, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CubeSchema, Table, linear_dimension, make_aggregates
+from repro.ingest import IngestError, StreamingIngestor
+from repro.lattice.node import CubeNode
+from repro.query import (
+    CubePlanner,
+    DimensionSlice,
+    FactCache,
+    QueryRequest,
+    reference_group_by,
+)
+from repro.query.answer import normalize_answer
+
+
+def small_schema() -> CubeSchema:
+    a = linear_dimension("A", [("A0", 8), ("A1", 4), ("A2", 2)])
+    b = linear_dimension("B", [("B0", 5)])
+    return CubeSchema(
+        (a, b), make_aggregates(("sum", 0), ("count", 0)), n_measures=1
+    )
+
+
+SCHEMA = small_schema()
+
+BASE = [(code % 8, code % 5, code * 3) for code in range(40)]
+
+
+def bootstrap(engine, tmp_path, **kwargs):
+    return StreamingIngestor.bootstrap(
+        SCHEMA,
+        engine,
+        Table(SCHEMA.fact_schema, list(BASE)),
+        tmp_path / "log",
+        seal_records=2,
+        **kwargs,
+    )
+
+
+def assert_queries_match(ingestor):
+    cache = FactCache(SCHEMA, table=ingestor.fact_table)
+    for node in SCHEMA.lattice.nodes():
+        expected = reference_group_by(SCHEMA, ingestor.fact_table.rows, node)
+        planner = CubePlanner(ingestor.storage, cache)
+        got = normalize_answer(planner.answer(QueryRequest(node)))
+        assert got == expected, node.label(SCHEMA.dimensions)
+
+
+def test_bootstrap_apply_recover_round_trip(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path, plus=True)
+    for start in range(0, 8, 2):
+        ingestor.append([(start % 8, start % 5, 100 + start)])
+        ingestor.append([((start + 1) % 8, (start + 1) % 5, 200 + start)])
+        ingestor.apply_ready()
+    assert ingestor.applied_lsn == 7
+    assert ingestor.stats.records_applied == 8
+    ingestor.checkpoint()
+    assert_queries_match(ingestor)
+
+    from repro.relational.catalog import Catalog
+    from repro.relational.engine import Engine
+    from repro.relational.memory import MemoryManager
+
+    fresh = Engine(Catalog(tmp_path / "cat"), MemoryManager())
+    recovered = StreamingIngestor.recover(
+        SCHEMA, fresh, tmp_path / "log", seal_records=2
+    )
+    assert recovered.applied_lsn == ingestor.applied_lsn
+    assert recovered.generation == ingestor.generation
+    assert list(recovered.fact_table.rows) == list(ingestor.fact_table.rows)
+    assert recovered.plus and recovered.storage.plus_processed
+    assert_queries_match(recovered)
+
+
+def test_recover_without_manifest_raises(engine, tmp_path):
+    with pytest.raises(IngestError, match="nothing committed"):
+        StreamingIngestor.recover(SCHEMA, engine, tmp_path / "log")
+
+
+def test_recover_rejects_tampered_fact(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path)
+    ingestor.append([(1, 1, 5)])
+    ingestor.log.seal()
+    ingestor.apply_ready()
+    ingestor.checkpoint()
+    fact_relation = f"{ingestor._cube_prefix(ingestor.generation)}.fact"
+    heap_path = engine.catalog.root / f"{fact_relation}.dat"
+    data = bytearray(heap_path.read_bytes())
+    data[-1] ^= 0xFF
+    heap_path.write_bytes(bytes(data))
+
+    from repro.relational.catalog import Catalog
+    from repro.relational.engine import Engine
+    from repro.relational.memory import MemoryManager
+
+    fresh = Engine(Catalog(tmp_path / "cat"), MemoryManager())
+    with pytest.raises(IngestError, match="fails verification"):
+        StreamingIngestor.recover(SCHEMA, fresh, tmp_path / "log")
+
+
+def test_append_validates_before_logging(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path)
+    before = ingestor.log.next_lsn
+    with pytest.raises(ValueError, match="arity"):
+        ingestor.append([(0, 0, 1), (0, 0)])  # second row too short
+    assert ingestor.log.next_lsn == before
+    assert ingestor.stats.records_appended == 0
+
+
+def test_drift_triggered_compaction(engine, tmp_path):
+    # A tight overhead budget plus CAT-demoting single-row deltas (each
+    # lands in an existing group, growing NTs where a condensed build
+    # would keep CATs) must trip the estimate and rebuild.
+    ingestor = bootstrap(engine, tmp_path, compact_overhead=1.001)
+    for value in range(6):
+        ingestor.append([(value % 8, value % 5, 7 * value)])
+    ingestor.log.seal()
+    ingestor.apply_ready()
+    assert ingestor.stats.compactions > 0
+    assert ingestor.storage.update_drift_bytes == 0  # rebuilt = condensed
+    assert_queries_match(ingestor)
+
+
+def test_no_compaction_without_budget(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path)  # compact_overhead=None
+    for value in range(6):
+        ingestor.append([(value % 8, value % 5, 7 * value)])
+    ingestor.log.seal()
+    ingestor.apply_ready()
+    assert ingestor.stats.compactions == 0
+
+
+def test_stale_generation_swept_on_recover(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path)
+    ingestor.append([(1, 1, 5)])
+    ingestor.log.seal()
+    ingestor.apply_ready()
+    ingestor.checkpoint()
+    committed = ingestor.generation
+    # Fake a crashed checkpoint: relations of a never-committed generation.
+    stale_prefix = ingestor._cube_prefix(committed + 1)
+    engine.store_table(
+        f"{stale_prefix}.fact", Table(SCHEMA.fact_schema, [(0, 0, 1)])
+    )
+    assert any(
+        name.startswith(stale_prefix) for name in engine.catalog.names()
+    )
+
+    from repro.relational.catalog import Catalog
+    from repro.relational.engine import Engine
+    from repro.relational.memory import MemoryManager
+
+    fresh = Engine(Catalog(tmp_path / "cat"), MemoryManager())
+    recovered = StreamingIngestor.recover(
+        SCHEMA, fresh, tmp_path / "log", seal_records=2
+    )
+    assert recovered.generation == committed
+    assert not any(
+        name.startswith(stale_prefix) for name in fresh.catalog.names()
+    )
+
+
+def test_planner_fine_grained_invalidation(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path)
+    cache = FactCache(SCHEMA, table=ingestor.fact_table)
+    planner = CubePlanner(ingestor.storage, cache)
+    ingestor.planner = planner
+
+    base_node = CubeNode((0, 0))  # A0 × B0
+    hit = QueryRequest(base_node, (DimensionSlice.of(0, 0, {0}),))
+    miss = QueryRequest(base_node, (DimensionSlice.of(0, 0, {5}),))
+    unsliced = QueryRequest(base_node)
+    for request in (hit, miss, unsliced):
+        planner.answer(request)
+    assert len(planner.results) == 3
+
+    # The delta lands in A0=0: the A0=5 slice must survive, the A0=0
+    # slice and the unsliced answer must drop.
+    ingestor.append([(0, 2, 999)])
+    ingestor.log.seal()
+    ingestor.apply_ready()
+    assert ingestor.stats.results_dropped == 2
+    assert planner.results.get(SCHEMA.node_id(base_node), miss.slices) is not None
+    assert planner.results.get(SCHEMA.node_id(base_node), hit.slices) is None
+
+    # Surviving and re-answered entries are both correct.
+    for request in (hit, miss, unsliced):
+        got = normalize_answer(planner.answer(request))
+        reference = reference_group_by(
+            SCHEMA, ingestor.fact_table.rows, base_node
+        )
+        if request.slices:
+            (slice_,) = request.slices
+            reference = [
+                (dims, aggregates)
+                for dims, aggregates in reference
+                if dims[0] in slice_.members
+            ]
+        assert got == reference
+
+
+def test_planner_storage_swapped_after_compaction(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path, compact_overhead=1.001)
+    planner = CubePlanner(
+        ingestor.storage, FactCache(SCHEMA, table=ingestor.fact_table)
+    )
+    ingestor.planner = planner
+    for value in range(6):
+        ingestor.append([(value % 8, value % 5, 7 * value)])
+    ingestor.log.seal()
+    ingestor.apply_ready()
+    assert ingestor.stats.compactions > 0
+    assert planner.storage is ingestor.storage
+    assert len(planner.results) == 0
+
+
+def test_log_truncated_behind_watermark_on_checkpoint(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path)
+    for value in range(4):
+        ingestor.append([(value % 8, value % 5, value)])
+    ingestor.log.seal()
+    ingestor.apply_ready()
+    assert ingestor.log.sealed_segments > 0
+    ingestor.checkpoint()
+    assert ingestor.log.sealed_segments == 0
+    assert ingestor.log.next_lsn == 4  # LSNs never rewind
+
+
+def test_sealed_records_only(engine, tmp_path):
+    ingestor = bootstrap(engine, tmp_path)
+    ingestor.append([(1, 1, 5)])  # one record, below seal_records=2
+    applied = ingestor.apply_ready()
+    assert applied == 0  # active-segment records are not yet eligible
+    ingestor.log.seal()
+    assert ingestor.apply_ready() == 1

@@ -1,0 +1,151 @@
+"""Unit tests for the segmented append log: framing, seals, and repair."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ingest import AppendLog, LogCorruption
+from repro.ingest.log import LOG_MANIFEST, _encode_record
+
+
+def _rows(*values: int) -> list[tuple[int, int, int]]:
+    return [(value, value % 5, value * 10) for value in values]
+
+
+def test_append_seal_reopen_round_trip(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=100)
+    assert log.append(_rows(1)) == 0
+    assert log.append(_rows(2, 3)) == 1
+    log.seal()
+    assert log.append(_rows(4)) == 2
+    log.seal()
+    assert log.sealed_segments == 2
+    assert log.next_lsn == 3
+
+    reopened = AppendLog.open(tmp_path, seal_records=100)
+    assert reopened.next_lsn == 3
+    assert reopened.sealed_segments == 2
+    records = list(reopened.sealed_records())
+    assert [record.lsn for record in records] == [0, 1, 2]
+    assert records[1].rows == tuple(tuple(row) for row in _rows(2, 3))
+
+
+def test_sealed_records_after_lsn_skips_consumed(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=2)
+    for value in range(6):
+        log.append(_rows(value))  # auto-seals every 2 records
+    assert log.sealed_segments == 3
+    assert [record.lsn for record in log.sealed_records(after_lsn=2)] == [3, 4, 5]
+    assert list(log.sealed_records(after_lsn=5)) == []
+
+
+def test_auto_seal_cadence(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=3)
+    for value in range(7):
+        log.append(_rows(value))
+    assert log.sealed_segments == 2
+    assert log.active_records == 1
+    assert log.next_lsn == 7
+
+
+def test_empty_record_rejected(tmp_path):
+    log = AppendLog.open(tmp_path)
+    with pytest.raises(ValueError, match="at least one row"):
+        log.append([])
+
+
+def test_torn_tail_truncated_on_open(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=100)
+    log.append(_rows(1))
+    log.append(_rows(2))
+    # Simulate a power cut mid-append: half of a third record reaches disk.
+    record = _encode_record(_rows(3))
+    active = tmp_path / "segment.000000.open"
+    with open(active, "ab") as handle:
+        handle.write(record[: len(record) // 2])
+
+    reopened = AppendLog.open(tmp_path, seal_records=100)
+    assert reopened.next_lsn == 2  # the torn record never got an LSN
+    assert active.stat().st_size == len(_encode_record(_rows(1))) + len(
+        _encode_record(_rows(2))
+    )
+    # The repaired segment seals and replays cleanly.
+    reopened.seal()
+    assert [record.lsn for record in reopened.sealed_records()] == [0, 1]
+
+
+def test_crashed_seal_completed_on_open(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=100)
+    log.append(_rows(1))
+    log.append(_rows(2))
+    # Simulate a crash after publish but before the manifest save: the
+    # sealed file exists while the manifest still calls segment 0 active.
+    active = tmp_path / "segment.000000.open"
+    sealed = tmp_path / "segment.000000.log"
+    sealed.write_bytes(active.read_bytes())
+
+    reopened = AppendLog.open(tmp_path, seal_records=100)
+    assert reopened.sealed_segments == 1
+    assert reopened.active_records == 0
+    assert not active.exists()
+    assert reopened.next_lsn == 2
+    assert [record.lsn for record in reopened.sealed_records()] == [0, 1]
+
+
+def test_truncate_behind_drops_only_consumed_segments(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=2)
+    for value in range(6):
+        log.append(_rows(value))
+    assert log.sealed_segments == 3
+    # Watermark at LSN 3 covers segments 0 (lsns 0-1) and 1 (lsns 2-3).
+    assert log.truncate_behind(3) == 2
+    assert log.sealed_segments == 1
+    assert not (tmp_path / "segment.000000.log").exists()
+    assert not (tmp_path / "segment.000001.log").exists()
+    assert [record.lsn for record in log.sealed_records()] == [4, 5]
+    assert log.truncate_behind(3) == 0
+
+
+def test_orphan_segments_swept_on_open(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=2)
+    for value in range(4):
+        log.append(_rows(value))
+    # Simulate a truncation whose unlink pass never ran: rewrite the
+    # manifest without segment 0 but leave its file on disk.
+    manifest_path = tmp_path / LOG_MANIFEST
+    payload = json.loads(manifest_path.read_text())
+    payload["sealed"] = [
+        entry for entry in payload["sealed"] if entry["id"] != 0
+    ]
+    manifest_path.write_text(json.dumps(payload))
+    assert (tmp_path / "segment.000000.log").exists()
+
+    reopened = AppendLog.open(tmp_path, seal_records=2)
+    assert not (tmp_path / "segment.000000.log").exists()
+    assert [record.lsn for record in reopened.sealed_records()] == [2, 3]
+
+
+def test_tampered_sealed_segment_raises(tmp_path):
+    log = AppendLog.open(tmp_path, seal_records=100)
+    log.append(_rows(1))
+    log.seal()
+    sealed = tmp_path / "segment.000000.log"
+    data = bytearray(sealed.read_bytes())
+    data[-1] ^= 0xFF
+    sealed.write_bytes(bytes(data))
+    with pytest.raises(LogCorruption, match="checksum"):
+        list(log.sealed_records())
+
+
+def test_unsupported_manifest_version_raises(tmp_path):
+    log = AppendLog.open(tmp_path)
+    log.append(_rows(1))
+    log.seal()
+    manifest_path = tmp_path / LOG_MANIFEST
+    payload = json.loads(manifest_path.read_text())
+    payload["version"] = 99
+    manifest_path.write_text(json.dumps(payload))
+    with pytest.raises(LogCorruption, match="version"):
+        AppendLog.open(tmp_path)

@@ -259,3 +259,84 @@ def test_cli_limits_truncate_output(cli_workspace, capsys):
     ])
     out = capsys.readouterr().out
     assert "more rows (raise --limit)" in out
+
+
+def _write_delta_csv(path, rows):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in rows:
+            writer.writerow(row)
+
+
+def test_cli_ingest_updates_bundle_queries(cli_workspace, capsys):
+    tmp_path, csv_path, spec_path = cli_workspace
+    cube_dir = tmp_path / "cube"
+    cli_main([
+        "build", "--csv", str(csv_path), "--spec", str(spec_path),
+        "--out", str(cube_dir),
+    ])
+    capsys.readouterr()
+
+    # Bundle schema order (by decreasing cardinality): Product, Region.
+    delta_csv = tmp_path / "delta.csv"
+    _write_delta_csv(
+        delta_csv,
+        [["s0", "Athens", 7], ["s1", "Paris", 11], ["s0", "Athens", 2]],
+    )
+    assert cli_main([
+        "ingest", "--cube", str(cube_dir), "--csv", str(delta_csv),
+        "--batch", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ingested 3 rows" in out
+    assert "committed generation" in out
+
+    # The bundle now answers from the committed ingest generation.
+    with open_bundle(cube_dir) as bundle:
+        assert bundle.fact_row_count == 203
+        cache = bundle.fact_cache()
+        fact_rows = [
+            bundle.catalog.open(bundle.fact_relation).read_row(i)
+            for i in range(bundle.fact_row_count)
+        ]
+        for node in bundle.schema.lattice.nodes():
+            expected = reference_group_by(bundle.schema, fact_rows, node)
+            got = normalize_answer(
+                answer_cure_query(bundle.storage, cache, node)
+            )
+            assert got == expected, node.label(bundle.schema.dimensions)
+
+    # The query command reads the new rows too.
+    cli_main([
+        "query", "--cube", str(cube_dir), "--group-by", "Region",
+        "--where", "Region.city=Athens",
+    ])
+    out = capsys.readouterr().out
+    assert "Athens" in out
+
+    # A second ingest recovers the committed state and applies on top.
+    _write_delta_csv(delta_csv, [["s2", "Lyon", 5]])
+    assert cli_main([
+        "ingest", "--cube", str(cube_dir), "--csv", str(delta_csv),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ingested 1 rows" in out
+    with open_bundle(cube_dir) as bundle:
+        assert bundle.fact_row_count == 204
+
+
+def test_cli_ingest_rejects_malformed_rows(cli_workspace, capsys):
+    tmp_path, csv_path, spec_path = cli_workspace
+    cube_dir = tmp_path / "cube"
+    cli_main([
+        "build", "--csv", str(csv_path), "--spec", str(spec_path),
+        "--out", str(cube_dir),
+    ])
+    capsys.readouterr()
+    delta_csv = tmp_path / "bad.csv"
+    _write_delta_csv(delta_csv, [["s0", "Athens"]])  # missing measure
+    with pytest.raises(SystemExit, match="expected 3 fields"):
+        cli_main(["ingest", "--cube", str(cube_dir), "--csv", str(delta_csv)])
+    _write_delta_csv(delta_csv, [["s0", "Atlantis", 1]])  # unknown member
+    with pytest.raises(SystemExit, match="Atlantis"):
+        cli_main(["ingest", "--cube", str(cube_dir), "--csv", str(delta_csv)])

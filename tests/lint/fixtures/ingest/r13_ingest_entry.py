@@ -1,0 +1,31 @@
+"""R13: ingest entry points audit the log's durability primitives."""
+
+from __future__ import annotations
+
+SITE_FAMILIES = frozenset({"ingest.append", "ingest.seal"})
+
+
+def maybe_fire(hook: object, site: str) -> None:
+    del hook, site
+
+
+def append_bytes(path: str, data: bytes) -> None:
+    del path, data
+
+
+def truncate_file(path: str, length: int) -> None:
+    del path, length
+
+
+def _rewind(path: str) -> None:
+    truncate_file(path, 0)  # covered: every caller path fires a site
+
+
+class AppendLog:
+    def append(self, path: str) -> None:
+        maybe_fire(None, f"ingest.append:{path}")
+        append_bytes(path, b"record")
+        _rewind(path)
+
+    def seal(self, path: str) -> None:
+        append_bytes(path, b"tail")  # line 31: no site on any path

@@ -1,0 +1,22 @@
+"""R9 fixture: the ingest layer gets no raw-write exemption.
+
+The append log lives outside ``relational/``, so every on-disk mutation
+must flow through ``repro.relational.durable`` (``append_bytes``,
+``truncate_file``, ...) — a raw append-mode ``open`` here would bypass
+fsync, record framing, and the fault injector.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def tail_segment(path: Path, record: bytes) -> None:
+    with open(path, "ab") as handle:  # line 15: raw append-mode open
+        handle.write(record)
+    path.write_bytes(record)  # line 17: raw Path write
+
+
+def read_segment(path: Path) -> bytes:
+    with open(path, "rb") as handle:  # read-only is fine anywhere
+        return handle.read()

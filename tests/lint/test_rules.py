@@ -33,6 +33,8 @@ EXPECTED = {
     "core/r12_shared_state.py": [("R12", 10), ("R12", 15)],
     "core/r12_locked_cache.py": [],
     "relational/r13_fault_sites.py": [("R13", 22), ("R13", 26)],
+    "ingest/r9_ingest_raw_write.py": [("R9", 15), ("R9", 17)],
+    "ingest/r13_ingest_entry.py": [("R13", 31)],
     "flowproj/listing.py": [],
     # clean in isolation: the taint source lives in flowproj/listing.py and
     # only a whole-set analysis follows the edge (tests/lint/test_rules_flow.py)

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from repro import CubeSchema, Table, linear_dimension, make_aggregates
 from repro.core.cure import build_cube
 from repro.core.incremental import apply_delta
+from repro.core.postprocess import postprocess_plus
 from repro.query import FactCache, answer_cure_query, reference_group_by
 from repro.query.answer import normalize_answer
 
@@ -41,6 +42,30 @@ def test_update_rounds_equal_rebuild(base_rows, delta_batches):
         )
     for batch in delta_batches:
         apply_delta(result.storage, SCHEMA, table, list(batch))
+    cache = FactCache(SCHEMA, table=table)
+    for node in SCHEMA.lattice.nodes():
+        expected = reference_group_by(SCHEMA, table.rows, node)
+        got = normalize_answer(answer_cure_query(result.storage, cache, node))
+        assert got == expected, node.label(SCHEMA.dimensions)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(rows, min_size=4, max_size=30),
+    st.lists(st.lists(rows, min_size=1, max_size=8), min_size=1, max_size=3),
+)
+def test_plus_update_rounds_equal_rebuild(base_rows, delta_batches):
+    """Maintenance of a CURE+ cube (the bitmap-materialization path at the
+    top of ``apply_delta``) round-trips through ``postprocess_plus`` and
+    stays query-equivalent to a from-scratch rebuild after every batch."""
+    table = Table(SCHEMA.fact_schema, list(base_rows))
+    result = build_cube(SCHEMA, table=table)
+    postprocess_plus(result.storage)
+    for batch in delta_batches:
+        apply_delta(result.storage, SCHEMA, table, list(batch))
+        assert not result.storage.plus_processed
+        postprocess_plus(result.storage)
+        assert result.storage.plus_processed
     cache = FactCache(SCHEMA, table=table)
     for node in SCHEMA.lattice.nodes():
         expected = reference_group_by(SCHEMA, table.rows, node)
