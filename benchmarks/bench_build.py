@@ -1,0 +1,193 @@
+"""Parallel partition-build scaling and memory discipline.
+
+One skewed, memory-capped dataset (the external Section 4 pipeline:
+uniform partitioning plus adaptive re-partitioning of oversized
+partitions) is built at 1, 2 and 4 workers through the
+:mod:`repro.build` scheduler.  Workers load partitions through
+read-only ``np.memmap`` views and stay inside the same
+:class:`~repro.relational.memory.MemoryManager` budget the sequential
+driver uses, so the benchmark records three things:
+
+* **scaling** — wall-clock speedup of 2- and 4-worker builds over the
+  sequential executor on the same plan;
+* **memory** — every worker's peak reservation stays at or below the
+  build's memory budget (the work-stealing pool buys speed, not RAM);
+* **determinism** — all worker counts produce byte-identical cubes.
+
+``python benchmarks/bench_build.py`` regenerates ``BENCH_build.json``
+at the repo root; ``--check`` (and the pytest entry point) always
+asserts determinism and the memory floor, and additionally asserts the
+4-worker speedup floor when the host actually has four cores
+(``os.cpu_count() >= 4``) — on smaller runners the speedup is recorded
+but not enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Engine, build_cube
+from repro.core.signature import SignaturePool
+from repro.datasets.synthetic import generate_flat_dataset
+from repro.relational.catalog import Catalog
+from repro.relational.memory import MemoryManager
+
+ROWS = 6_000
+BUDGET_ROWS = 1_200
+POOL_CAPACITY = 4_000
+SEED = 11
+WORKER_COUNTS = (1, 2, 4)
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_build.json"
+
+
+def _dataset():
+    return generate_flat_dataset(
+        3,
+        ROWS,
+        zipf=0.8,
+        seed=SEED,
+        cardinalities=(24, 10, 6),
+        aggregates=(("sum", 0), ("count", 0)),
+    )
+
+
+def _budget(schema) -> int:
+    pool_bytes = SignaturePool.size_bytes(POOL_CAPACITY, schema.n_aggregates)
+    return pool_bytes + BUDGET_ROWS * schema.partition_schema.row_size_bytes
+
+
+def _cube_digest(storage) -> str:
+    """Order-sensitive digest of the stored cube, emission order included."""
+    payload = hashlib.sha256()
+    for node_id, store in sorted(storage.nodes.items()):
+        payload.update(
+            repr(
+                (
+                    node_id,
+                    tuple(store.nt_rows),
+                    tuple(store.tt_rowids),
+                    tuple(store.cat_rows),
+                )
+            ).encode()
+        )
+    payload.update(repr(tuple(storage.aggregates_rows)).encode())
+    return payload.hexdigest()
+
+
+def _build_arm(root: Path, schema, table, workers: int) -> dict:
+    budget = _budget(schema)
+    engine = Engine(Catalog(root), MemoryManager(budget))
+    try:
+        engine.store_table("fact", table)
+        started = time.perf_counter()
+        result = build_cube(
+            schema,
+            engine=engine,
+            relation="fact",
+            pool_capacity=POOL_CAPACITY,
+            partition_strategy="uniform",
+            workers=workers,
+        )
+        seconds = time.perf_counter() - started
+        stats = result.stats
+        return {
+            "workers": workers,
+            "seconds": round(seconds, 4),
+            "budget_bytes": budget,
+            "partitions": stats.partitions_created,
+            "repartitioned": stats.repartitioned_partitions,
+            "tasks_run": stats.tasks_run,
+            "tasks_stolen": stats.tasks_stolen,
+            "peak_worker_bytes": stats.peak_worker_bytes,
+            "digest": _cube_digest(result.storage),
+        }
+    finally:
+        engine.close()
+
+
+def run() -> dict:
+    schema, table = _dataset()
+    arms = []
+    for workers in WORKER_COUNTS:
+        with tempfile.TemporaryDirectory(prefix="bench_build.") as tmp:
+            arms.append(_build_arm(Path(tmp), schema, table, workers))
+    sequential = arms[0]["seconds"]
+    for arm in arms:
+        arm["speedup"] = round(sequential / arm["seconds"], 3)
+    return {
+        "rows": ROWS,
+        "seed": SEED,
+        "pool_capacity": POOL_CAPACITY,
+        "cpu_count": os.cpu_count(),
+        "identical_output": len({arm["digest"] for arm in arms}) == 1,
+        "builds": arms,
+    }
+
+
+# The speedup floor only binds on hosts with enough cores to express it;
+# determinism and the memory budget bind everywhere.
+MIN_SPEEDUP_AT_4 = 2.0
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+def check_floors(results: dict) -> list[str]:
+    failing = []
+    if not results["identical_output"]:
+        failing.append("identical_output")
+    for arm in results["builds"]:
+        if arm["workers"] > 1 and not (
+            0 < arm["peak_worker_bytes"] <= arm["budget_bytes"]
+        ):
+            failing.append(f"peak_worker_bytes@{arm['workers']}")
+    cores = results["cpu_count"] or 1
+    if cores >= MIN_CORES_FOR_SPEEDUP:
+        by_workers = {arm["workers"]: arm for arm in results["builds"]}
+        if by_workers[4]["speedup"] < MIN_SPEEDUP_AT_4:
+            failing.append("speedup@4")
+    return failing
+
+
+def test_build_floors():
+    """CI acceptance: all worker counts emit the same bytes, workers
+    respect the memory budget, and (on ≥4-core hosts) four workers are
+    at least twice as fast as one."""
+    results = run()
+    assert not check_floors(results), results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Parallel partition-build scaling, memory, determinism."
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the floors hold",
+    )
+    args = parser.parse_args(argv)
+
+    results = run()
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    if args.check:
+        failing = check_floors(results)
+        for name in failing:
+            print(f"FAIL: {name} below its floor", file=sys.stderr)
+        if failing:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""The multiprocessing executor: work-stealing workers over shared files.
+
+Workers are spawned processes that open their *own* :class:`Catalog` and
+:class:`Engine` over the build's catalog directory and read partition
+files through ``np.memmap`` (read-only, zero-copy of the page cache) —
+the fact data is shared through the filesystem, never pickled.  Each
+worker gets a :class:`MemoryManager` carved to exactly the budget the
+sequential loop would see for one load (the global cap minus the driver's
+signature-pool reservation), which is what keeps load decisions — and
+therefore adaptive re-partitioning splits — byte-identical to a
+sequential build; a worker holds at most one partition working set at a
+time, so the carve is also its true high-water mark.
+
+Scheduling is coordinator-mediated work stealing: every root task of
+every unit is dealt round-robin into per-worker deques up front (units
+have no cross-dependencies — coarse nodes are persisted during the
+partitioning pass, before any task runs), each worker executes one task
+at a time, and an idle worker whose deque is empty steals from the back
+of the longest other deque, so one hot or skewed partition never
+serializes the build.  Expansion children go to the *front* of the
+originating worker's deque (depth-first, keeping the scaffolding
+relations hot).  Completions are reassembled into deterministic plan
+order per unit and delivered to the driver strictly in unit order.
+
+Fault injection crosses the process boundary explicitly: the driver's
+armed :class:`FaultSpec` plan is serialized into each worker, which
+re-installs it on its own injector.  A worker that hits an injected
+crash dies for real (``os._exit``) — no exception marshalling, no
+cleanup — and the coordinator's liveness check converts the silence
+into :class:`WorkerCrashed`, which resumable builds treat like any other
+mid-build crash.  Per-task injector trace slices travel back on each
+outcome so the driver can merge one deterministic site sequence.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro.build.executor import ExecutorStats
+from repro.build.runtime import execute_task
+from repro.build.tasks import (
+    BuildPlan,
+    TaskOutcome,
+    TaskSpec,
+    UnitCompletion,
+)
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.relational.catalog import Catalog
+from repro.relational.durable import InjectedCrash, maybe_fire
+from repro.relational.engine import Engine
+from repro.relational.memory import MemoryBudgetExceeded, MemoryManager
+
+#: Exit code a worker dies with when an injected crash fires inside it —
+#: distinguishable from a Python traceback exit in the coordinator's error.
+WORKER_CRASH_EXIT = 70
+
+#: Exceptions a worker may raise that the coordinator re-raises by type
+#: (everything else arrives as a RuntimeError carrying type name + text).
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "MemoryBudgetExceeded": MemoryBudgetExceeded,
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+}
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died mid-task (injected crash, OOM kill, signal).
+
+    Raised by the coordinator; for a durable build this is an ordinary
+    crash point — the manifest still references the last checkpoint, so
+    ``resume()`` recovers byte-identically.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerInit:
+    """Everything a spawned worker needs to rebuild the build context.
+
+    ``fault_plan`` re-arms the driver's fault configuration inside the
+    worker — without it the fault matrix would silently run fault-free in
+    children.  ``budget_bytes`` is the per-worker memory carve described
+    in the module docstring.
+    """
+
+    root: str
+    schema: object
+    min_count: int
+    budget_bytes: int | None
+    fault_plan: tuple[FaultSpec, ...]
+
+
+def _worker_main(worker_id, init, task_queue, result_queue):
+    """Worker loop: own engine + injector, tasks in, outcomes out.
+
+    An :class:`InjectedCrash` kills the process immediately and silently
+    (a real crash leaves no goodbye either); any other exception is
+    marshalled as an error tuple so the coordinator can re-raise it with
+    the build's usual semantics.
+    """
+    catalog = Catalog(Path(init.root))
+    engine = Engine(catalog, MemoryManager(init.budget_bytes))
+    injector = FaultInjector(plan=tuple(init.fault_plan))
+    engine.install_faults(injector)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        base = len(injector.trace)
+        try:
+            maybe_fire(injector, f"build.worker:{task.task_id}")
+            outcome = execute_task(
+                engine, init.schema, task, init.min_count, use_mapped=True
+            )
+            maybe_fire(injector, f"build.worker:{task.task_id}.publish")
+        except InjectedCrash:
+            os._exit(WORKER_CRASH_EXIT)
+        except BaseException as error:  # marshalled, not swallowed
+            result_queue.put(
+                (
+                    "error",
+                    worker_id,
+                    task.task_id,
+                    type(error).__name__,
+                    str(error),
+                )
+            )
+            continue
+        outcome.trace = tuple(injector.trace[base:])
+        outcome.peak_bytes = engine.memory.peak_bytes
+        result_queue.put(("done", worker_id, outcome))
+
+
+class ProcessPoolExecutor:
+    """Fan tasks out to spawned workers; reassemble deterministic order."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        workers: int,
+        worker_budget_bytes: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.engine = engine
+        self.workers = workers
+        self.worker_budget_bytes = worker_budget_bytes
+        self.stats = ExecutorStats(workers=workers)
+
+    def run(
+        self,
+        plan: BuildPlan,
+        on_unit: Callable[[UnitCompletion], None],
+        start_unit: int = 0,
+    ) -> None:
+        units = plan.units[start_unit:]
+        if not units:
+            return
+        budget = self.worker_budget_bytes
+        if budget is None:
+            # The sequential loop loads each partition with only the
+            # driver's pool reservation held; giving every worker exactly
+            # that remainder reproduces its decisions.
+            budget = self.engine.memory.free_bytes
+        faults = getattr(self.engine.catalog, "faults", None)
+        init = WorkerInit(
+            root=str(self.engine.catalog.root),
+            schema=plan.schema,
+            min_count=plan.min_count,
+            budget_bytes=budget,
+            fault_plan=tuple(faults.plan) if faults is not None else (),
+        )
+
+        context = get_context("spawn")
+        result_queue = context.Queue()
+        task_queues = []
+        processes = []
+        n = self.workers
+        for worker_id in range(n):
+            task_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_id, init, task_queue, result_queue),
+                daemon=True,
+            )
+            process.start()
+            task_queues.append(task_queue)
+            processes.append(process)
+
+        # Deal every root task round-robin; deques feed idle workers.
+        deques: list[deque[TaskSpec]] = [deque() for _ in range(n)]
+        for i, task in enumerate(
+            task for unit in units for task in unit.tasks
+        ):
+            deques[i % n].append(task)
+
+        # Per-unit deterministic order: task ids in depth-first plan
+        # order, grown in place when an expansion splices children.
+        unit_order: dict[int, list[str]] = {
+            unit.index: [task.task_id for task in unit.tasks]
+            for unit in units
+        }
+        done: dict[int, dict[str, TaskOutcome]] = {
+            unit.index: {} for unit in units
+        }
+        units_by_index = {unit.index: unit for unit in units}
+        next_unit = units[0].index
+        in_flight: dict[int, TaskSpec | None] = dict.fromkeys(range(n))
+        outstanding = sum(len(order) for order in unit_order.values())
+
+        def dispatch(worker_id: int) -> None:
+            own = deques[worker_id]
+            if not own:
+                victim = max(
+                    (d for d in deques if d), key=len, default=None
+                )
+                if victim is None:
+                    return
+                own.append(victim.pop())
+                self.stats.tasks_stolen += 1
+            task = own.popleft()
+            in_flight[worker_id] = task
+            task_queues[worker_id].put(task)
+
+        try:
+            for worker_id in range(n):
+                dispatch(worker_id)
+            while outstanding:
+                try:
+                    message = result_queue.get(timeout=0.2)
+                except queue_module.Empty:
+                    self._check_liveness(processes, in_flight)
+                    continue
+                if message[0] == "error":
+                    _, worker_id, task_id, type_name, text = message
+                    error_type = _ERROR_TYPES.get(type_name)
+                    if error_type is None:
+                        raise RuntimeError(
+                            f"worker {worker_id} failed on task "
+                            f"{task_id}: {type_name}: {text}"
+                        )
+                    raise error_type(text)
+                _, worker_id, outcome = message
+                task = outcome.task
+                self.stats.tasks_run += 1
+                self.stats.peak_worker_bytes = max(
+                    self.stats.peak_worker_bytes, outcome.peak_bytes
+                )
+                in_flight[worker_id] = None
+                outstanding -= 1
+                if outcome.children:
+                    order = unit_order[task.unit]
+                    at = order.index(task.task_id) + 1
+                    order[at:at] = [c.task_id for c in outcome.children]
+                    deques[worker_id].extendleft(reversed(outcome.children))
+                    outstanding += len(outcome.children)
+                done[task.unit][task.task_id] = outcome
+                dispatch(worker_id)
+                # Deliver every fully-assembled unit, strictly in order.
+                # (An expansion splices its children into the unit's order
+                # before this check runs, so a unit with work still queued
+                # or in flight always has fewer outcomes than order slots.)
+                while next_unit in units_by_index:
+                    order = unit_order[next_unit]
+                    finished = done[next_unit]
+                    if len(finished) < len(order):
+                        break
+                    on_unit(
+                        UnitCompletion(
+                            units_by_index[next_unit],
+                            tuple(finished[task_id] for task_id in order),
+                        )
+                    )
+                    next_unit += 1
+        finally:
+            self._shutdown(processes, task_queues, result_queue)
+
+    def _check_liveness(
+        self,
+        processes: list,
+        in_flight: dict[int, TaskSpec | None],
+    ) -> None:
+        for worker_id, process in enumerate(processes):
+            if not process.is_alive():
+                task = in_flight.get(worker_id)
+                raise WorkerCrashed(
+                    f"worker {worker_id} died"
+                    + (
+                        f" while running task {task.task_id}"
+                        if task is not None
+                        else ""
+                    )
+                    + f" (exit code {process.exitcode})"
+                )
+
+    def _shutdown(self, processes, task_queues, result_queue) -> None:
+        for task_queue in task_queues:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for process in processes:
+            process.join(timeout=2.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for channel in [*task_queues, result_queue]:
+            channel.cancel_join_thread()
+            channel.close()
+
+
+__all__ = [
+    "ProcessPoolExecutor",
+    "WorkerCrashed",
+    "WorkerInit",
+    "WORKER_CRASH_EXIT",
+]

@@ -1,0 +1,144 @@
+"""Task interpreter: run one :class:`TaskSpec` against an engine.
+
+:func:`execute_task` is the single implementation both executors share —
+the sequential executor calls it in the driver process against the build
+engine, worker processes call it against their own engine over the same
+catalog directory (``use_mapped=True`` swaps full in-memory loads for
+read-only ``np.memmap`` views of the shared partition files).
+
+Every code path here is a *pure producer*: it loads a relation, runs the
+BUC recursion into capture sinks, and returns the raw event streams.  The
+one stateful branch — an over-budget partition — does mutate the catalog
+(adaptive re-partitioning writes ``.sub<i>``/``.coarseN*`` scaffolding),
+but deterministically: the split decision depends only on the partition's
+rows and the engine's free budget, both of which are identical across
+executors, so any executor expands a given task into the same children.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import cast
+
+from repro.build.plan import expansion_children
+from repro.build.tasks import (
+    KIND_COARSE_PARTITION,
+    KIND_COARSE_RUN,
+    KIND_PAIR,
+    KIND_PARTITION,
+    SignatureCapture,
+    TaskOutcome,
+    TaskSpec,
+    TTCapture,
+    capture_arrays,
+    empty_outcome,
+)
+from repro.core.cure import BuildStats, CureBuilder, HierarchicalShape
+from repro.core.model import CubeSchema
+from repro.core.partition import load_coarse_working_set, repartition_partition
+from repro.core.signature import SignaturePool
+from repro.core.storage import CubeStorage
+from repro.core.workingset import WorkingSet
+from repro.relational.engine import Engine
+from repro.relational.memory import MemoryBudgetExceeded
+
+
+def _load_partition(
+    engine: Engine, name: str, schema: CubeSchema, use_mapped: bool
+) -> tuple[WorkingSet, Callable[[], None]]:
+    """Load a partition file under its memory reservation.
+
+    Both paths fire the same ``memory.reserve:load(<name>)`` and
+    ``heap.read:<file>`` sites and reserve the same byte count, so fault
+    traces and budget decisions cannot tell them apart.
+    """
+    if use_mapped:
+        mapped = engine.load_mapped(name)
+        working = WorkingSet.from_partition_array(schema, mapped.records)
+        return working, mapped.release
+    loaded = engine.load(name)
+    working = WorkingSet.from_partition_table(schema, loaded.table)
+    return working, loaded.release
+
+
+def _load_coarse(
+    engine: Engine, name: str, schema: CubeSchema, use_mapped: bool
+) -> tuple[WorkingSet, Callable[[], None]]:
+    """Load a persisted coarse node (same site/budget parity as above)."""
+    if use_mapped:
+        mapped = engine.load_mapped(name)
+        working = WorkingSet.from_coarse_array(schema, mapped.records)
+        return working, mapped.release
+    return load_coarse_working_set(engine, name, schema)
+
+
+def execute_task(
+    engine: Engine,
+    schema: CubeSchema,
+    task: TaskSpec,
+    min_count: int,
+    use_mapped: bool = False,
+) -> TaskOutcome:
+    """Run one task to completion (or expansion) and capture its events.
+
+    A ``partition`` task whose load overflows the budget does not fail:
+    it re-partitions adaptively and returns an event-free outcome whose
+    ``children`` the scheduler splices in its place — the task-DAG form
+    of the old ``_process_oversized_partition`` recursion.  ``pair`` and
+    coarse tasks propagate :class:`MemoryBudgetExceeded` (those loads
+    were sized by a terminal selection; overflow means the build cannot
+    proceed), exactly as the inline pipeline did.
+    """
+    stats = BuildStats()
+    if task.kind == KIND_PARTITION:
+        try:
+            working, release = _load_partition(
+                engine, task.relation, schema, use_mapped
+            )
+        except MemoryBudgetExceeded:
+            split = repartition_partition(
+                engine, task.relation, schema, task.level, stats=stats
+            )
+            outcome = empty_outcome(task, stats, schema.n_aggregates)
+            outcome.children = expansion_children(
+                task, split, schema.n_dimensions
+            )
+            return outcome
+    elif task.kind == KIND_PAIR:
+        working, release = _load_partition(
+            engine, task.relation, schema, use_mapped
+        )
+    elif task.kind in (KIND_COARSE_RUN, KIND_COARSE_PARTITION):
+        working, release = _load_coarse(
+            engine, task.relation, schema, use_mapped
+        )
+    else:
+        raise ValueError(f"unknown task kind {task.kind!r}")
+
+    tts = TTCapture()
+    sigs = SignatureCapture()
+    shape = HierarchicalShape(schema, task.base_floor)
+    builder = CureBuilder(
+        schema,
+        cast(CubeStorage, tts),
+        cast(SignaturePool, sigs),
+        shape,
+        min_count,
+        stats,
+    )
+    try:
+        if task.kind == KIND_PARTITION:
+            builder.run_partition(working, task.level)
+        elif task.kind == KIND_PAIR:
+            builder.run_partition_pair(working, task.level, task.level1)
+        elif task.kind == KIND_COARSE_RUN:
+            builder.run(working)
+        else:
+            builder.run_partition(working, task.level)
+    finally:
+        release()
+    tt_array, sig_array = capture_arrays(tts, sigs, schema.n_aggregates)
+    return TaskOutcome(task, tt_array, sig_array, stats)
+
+
+__all__ = ["execute_task"]

@@ -1,0 +1,247 @@
+"""Task model of the partitioned build: specs, outcomes, and replay.
+
+The plan layer (:mod:`repro.build.plan`) turns a partitioning decision
+into an ordered DAG of :class:`TaskSpec`\\ s; the executor layer runs them
+(in this process or in worker processes) and hands back
+:class:`TaskOutcome`\\ s; the driver *replays* each outcome — in plan
+order — into the real :class:`~repro.core.storage.CubeStorage` and
+:class:`~repro.core.signature.SignaturePool`.
+
+The replay discipline is what makes every executor byte-identical to the
+historical inline loop: a task never classifies anything.  It captures the
+**raw event stream** the BUC recursion would have emitted — trivial-tuple
+writes ``(node_id, rowid)`` and signature adds ``(node_id, rowid,
+aggregates…)`` — as two int64 arrays.  The coordinator owns the one true
+signature pool and feeds it the streams in deterministic task order, so
+flush windows, NT/CAT classification, and the first-flush format decision
+are exactly those of a sequential build, no matter how many workers
+produced the streams or in which order they finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cure import BuildStats
+from repro.core.model import CubeSchema
+from repro.core.signature import Signature, SignaturePool
+from repro.core.storage import CubeStorage
+
+#: Task kinds understood by :func:`repro.build.runtime.execute_task`.
+KIND_PARTITION = "partition"  # load a partition file, run_partition(level)
+KIND_PAIR = "pair"  # load a partition file, run_partition_pair(level, level1)
+KIND_COARSE_RUN = "coarse_run"  # load a coarse node, run() under a floor
+KIND_COARSE_PARTITION = "coarse_partition"  # coarse node, run_partition(level)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of construction work (picklable, immutable).
+
+    ``level``/``level1`` are the entry levels of the corresponding
+    ``CureBuilder`` call; ``base_floor`` — when set — is the
+    ``base_levels`` tuple of the :class:`HierarchicalShape` the task runs
+    under (the coarse-phase descent floor).  ``drop_after`` marks
+    re-partitioning scaffolding (``.sub<i>``, ``.coarseN*``) the executor
+    drops once the task has produced its events.
+    """
+
+    task_id: str
+    kind: str
+    relation: str
+    level: int = 0
+    level1: int = 0
+    base_floor: tuple[int, ...] | None = None
+    drop_after: bool = False
+    unit: int = 0
+
+
+@dataclass
+class TaskOutcome:
+    """What one executed task hands back for ordered replay.
+
+    ``tts`` has shape ``(n, 2)`` — ``(node_id, rowid)`` per trivial tuple,
+    in emission order.  ``sigs`` has shape ``(m, 2 + Y)`` — ``(node_id,
+    rowid, aggregates…)`` per signature, in emission order.  ``children``
+    is non-empty when the task *expanded* instead of running (its load
+    overflowed the budget and adaptive re-partitioning produced child
+    tasks); the scheduler splices the children into the unit's order right
+    after this outcome.  ``trace`` carries the fault-injector site events
+    a worker process fired while running the task, for deterministic
+    merging into the coordinator's trace; it stays empty under the
+    sequential executor, whose fires land on the driver injector directly.
+    """
+
+    task: TaskSpec
+    tts: np.ndarray
+    sigs: np.ndarray
+    stats: BuildStats
+    children: tuple[TaskSpec, ...] = ()
+    trace: tuple[str, ...] = ()
+    peak_bytes: int = 0
+
+    @property
+    def task_id(self) -> str:
+        return self.task.task_id
+
+
+@dataclass(frozen=True)
+class BuildUnit:
+    """One checkpointable group of tasks (a manifest partition or a
+    coarse phase).  ``tasks`` are the roots; expansions grow the group at
+    run time without changing unit boundaries."""
+
+    index: int
+    kind: str  # "partition" | "coarse"
+    tasks: tuple[TaskSpec, ...]
+
+
+@dataclass(frozen=True)
+class BuildPlan:
+    """The deterministic task DAG of one partitioned build."""
+
+    schema: CubeSchema
+    min_count: int
+    units: tuple[BuildUnit, ...]
+
+    @property
+    def n_partition_units(self) -> int:
+        return sum(1 for unit in self.units if unit.kind == "partition")
+
+
+@dataclass
+class UnitCompletion:
+    """All outcomes of one unit, in final (expansion-spliced) order."""
+
+    unit: BuildUnit
+    outcomes: tuple[TaskOutcome, ...]
+
+
+# -- capture sinks -------------------------------------------------------------
+
+
+class TTCapture:
+    """Storage stand-in recording ``write_tt`` events instead of applying
+    them.  The only storage surface the BUC recursion touches."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[int, int]] = []
+
+    def write_tt(self, node_id: int, rowid: int) -> None:
+        self.events.append((node_id, rowid))
+
+
+class SignatureCapture:
+    """Pool stand-in recording ``add`` events unclassified.
+
+    ``flush`` is a no-op on purpose: classification belongs to the one
+    coordinator-side pool, replayed in task order.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple[int, ...]] = []
+
+    def add(self, signature: Signature) -> None:
+        self.events.append(
+            (signature.node_id, signature.rowid) + tuple(signature.aggregates)
+        )
+
+    def flush(self) -> None:  # pragma: no cover - never has anything to do
+        return None
+
+
+def capture_arrays(
+    tts: TTCapture, sigs: SignatureCapture, n_aggregates: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack capture sinks into the dense arrays a :class:`TaskOutcome`
+    ships (cheap to pickle across the process boundary)."""
+    tt_array = np.asarray(tts.events, dtype=np.int64).reshape(-1, 2)
+    sig_array = np.asarray(sigs.events, dtype=np.int64).reshape(
+        -1, 2 + n_aggregates
+    )
+    return tt_array, sig_array
+
+
+def empty_outcome(task: TaskSpec, stats: BuildStats, n_aggregates: int) -> TaskOutcome:
+    """An outcome with no events (expansions, empty working sets)."""
+    return TaskOutcome(
+        task,
+        np.empty((0, 2), dtype=np.int64),
+        np.empty((0, 2 + n_aggregates), dtype=np.int64),
+        stats,
+    )
+
+
+# -- replay --------------------------------------------------------------------
+
+
+def merge_build_stats(into: BuildStats, delta: BuildStats) -> None:
+    """Fold one task's counter deltas into the build-wide stats.
+
+    Addition commutes, and outcomes are applied in deterministic plan
+    order, so totals match the historical inline loop field for field.
+    Executor-level fields (``tasks_run``/``tasks_stolen``/``workers``/
+    ``peak_worker_bytes``) and wall-clock time are owned by the driver,
+    not by per-task deltas.
+    """
+    into.nodes_aggregated += delta.nodes_aggregated
+    into.tt_written += delta.tt_written
+    into.signatures_emitted += delta.signatures_emitted
+    into.sort.merge(delta.sort)
+    into.fact_read_passes += delta.fact_read_passes
+    into.fact_write_passes += delta.fact_write_passes
+    into.partitions_created += delta.partitions_created
+    into.partitioned = into.partitioned or delta.partitioned
+    into.repartitioned_partitions += delta.repartitioned_partitions
+    into.pair_repartitioned_partitions += delta.pair_repartitioned_partitions
+    into.subpartitions_created += delta.subpartitions_created
+
+
+def apply_outcome(
+    outcome: TaskOutcome,
+    storage: CubeStorage,
+    pool: SignaturePool,
+    stats: BuildStats,
+    faults: object | None = None,
+) -> None:
+    """Replay one task's event streams through the real storage and pool.
+
+    TT events and signature adds feed disjoint sinks (per-node TT lists
+    vs. the pool), so replaying the two streams back to back preserves
+    the bytes of the historically interleaved emission.  Worker-side
+    injector traces are appended to the coordinator trace here — at the
+    outcome's deterministic position — so a recording run enumerates one
+    stable site sequence regardless of executor.
+    """
+    trace = getattr(faults, "trace", None)
+    if trace is not None and outcome.trace:
+        trace.extend(outcome.trace)
+    write_tt = storage.write_tt
+    for node_id, rowid in outcome.tts.tolist():
+        write_tt(node_id, rowid)
+    add = pool.add
+    for row in outcome.sigs.tolist():
+        add(Signature(tuple(row[2:]), row[1], row[0]))
+    merge_build_stats(stats, outcome.stats)
+    stats.peak_worker_bytes = max(stats.peak_worker_bytes, outcome.peak_bytes)
+
+
+__all__ = [
+    "KIND_COARSE_PARTITION",
+    "KIND_COARSE_RUN",
+    "KIND_PAIR",
+    "KIND_PARTITION",
+    "BuildPlan",
+    "BuildUnit",
+    "SignatureCapture",
+    "TTCapture",
+    "TaskOutcome",
+    "TaskSpec",
+    "UnitCompletion",
+    "apply_outcome",
+    "capture_arrays",
+    "empty_outcome",
+    "merge_build_stats",
+]

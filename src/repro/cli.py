@@ -88,10 +88,12 @@ def cmd_build(args) -> int:
         engine = Engine.temporary(args.memory_budget)
         engine.store_table("fact", loaded.table)
         result, _plus = config.build(
-            loaded.schema, engine=engine, relation="fact"
+            loaded.schema, engine=engine, relation="fact", workers=args.workers
         )
     else:
-        result, _plus = config.build(loaded.schema, table=loaded.table)
+        result, _plus = config.build(
+            loaded.schema, table=loaded.table, workers=args.workers
+        )
     report = result.storage.size_report()
     save_bundle(
         args.out,
@@ -110,6 +112,13 @@ def cmd_build(args) -> int:
               f"(repartitioned: {stats.repartitioned_partitions}, "
               f"pair-repartitioned: {stats.pair_repartitioned_partitions}, "
               f"sub-partitions: {stats.subpartitions_created})")
+    if stats.tasks_run:
+        line = (f"  executor: {stats.workers} worker(s), "
+                f"{stats.tasks_run} task(s) run, "
+                f"{stats.tasks_stolen} stolen")
+        if stats.peak_worker_bytes:
+            line += f", peak worker memory {stats.peak_worker_bytes:,} bytes"
+        print(line)
     print(f"  logical size: {report.total_mb:.3f} MB -> {args.out}")
     if engine is not None:
         engine.destroy()
@@ -365,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
              "build); a bounded budget exercises the Section 4 external "
              "partitioning pipeline, including adaptive and local pair "
              "re-partitioning on skewed inputs",
+    )
+    build.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the partition build (default 1 = "
+             "sequential in-process executor; N > 1 fans partition tasks "
+             "out to a work-stealing process pool)",
     )
     build.set_defaults(handler=cmd_build)
 

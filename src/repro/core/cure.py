@@ -33,12 +33,9 @@ import numpy as np
 from repro.core.model import CubeSchema
 from repro.core.partition import (
     PairPartitionDecision,
-    PairRepartition,
     PartitionDecision,
-    load_coarse_working_set,
     partition_relation,
     partition_relation_pair,
-    repartition_partition,
     select_partition_level,
     select_partition_pair,
 )
@@ -67,6 +64,10 @@ class BuildStats:
     repartitioned_partitions: int = 0
     pair_repartitioned_partitions: int = 0
     subpartitions_created: int = 0
+    tasks_run: int = 0
+    tasks_stolen: int = 0
+    workers: int = 1
+    peak_worker_bytes: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -351,6 +352,8 @@ def build_cube(
     flat: bool = False,
     shape: ExecutionShape | None = None,
     partition_strategy: str = "exact",
+    workers: int = 1,
+    executor: object | None = None,
 ) -> CubeResult:
     """Construct a CURE cube over an in-memory table or a named relation.
 
@@ -365,6 +368,13 @@ def build_cube(
     partition-level selection (``"exact"`` or ``"uniform"``); a partition
     an optimistic estimate under-provisioned is re-partitioned adaptively
     at load time instead of aborting the build.
+
+    ``workers > 1`` runs the partitioned pipeline's tasks on that many
+    worker processes (:class:`repro.build.parallel.ProcessPoolExecutor`);
+    the output is byte-identical to ``workers=1``.  ``executor`` injects a
+    pre-built :class:`repro.build.BuildExecutor` instead (tests, custom
+    budgets).  Both are ignored on the in-memory fast path, which has no
+    tasks to schedule.
     """
     if (table is None) == (engine is None or relation is None):
         raise ValueError("provide either `table` or both `engine` and `relation`")
@@ -414,6 +424,8 @@ def build_cube(
                 relation,
                 pool_bytes,
                 partition_strategy,
+                workers,
+                executor,
             )
 
     stats.elapsed_seconds = time.perf_counter() - started
@@ -437,6 +449,48 @@ def _build_in_memory(
     builder.finish()
 
 
+def _fold_executor_stats(stats: BuildStats, executor_stats) -> None:
+    """Surface what the executor did in the build-wide stats."""
+    stats.tasks_run += executor_stats.tasks_run
+    stats.tasks_stolen += executor_stats.tasks_stolen
+    stats.workers = max(stats.workers, executor_stats.workers)
+    stats.peak_worker_bytes = max(
+        stats.peak_worker_bytes, executor_stats.peak_worker_bytes
+    )
+
+
+def _run_plan(
+    plan,
+    storage: CubeStorage,
+    pool: SignaturePool,
+    stats: BuildStats,
+    engine: Engine,
+    workers: int,
+    executor,
+) -> None:
+    """Execute a build plan and replay its outcomes in deterministic order.
+
+    The driver owns the pool and the storage: executors only hand back
+    per-unit outcome batches, which are applied — and their scaffolding
+    relations dropped — in plan order, so flush windows and NT/CAT
+    classification are identical under every executor.
+    """
+    from repro.build import apply_outcome, make_executor
+
+    faults = engine.catalog.faults
+
+    def on_unit(completion) -> None:
+        for outcome in completion.outcomes:
+            apply_outcome(outcome, storage, pool, stats, faults)
+            if outcome.task.drop_after:
+                engine.catalog.drop(outcome.task.relation)
+
+    build_executor = make_executor(engine, workers, executor)
+    build_executor.run(plan, on_unit)
+    pool.flush()
+    _fold_executor_stats(stats, build_executor.stats)
+
+
 def _build_partitioned(
     schema: CubeSchema,
     storage: CubeStorage,
@@ -447,13 +501,24 @@ def _build_partitioned(
     relation: str,
     pool_bytes: int,
     partition_strategy: str = "exact",
+    workers: int = 1,
+    executor: object | None = None,
 ) -> PartitionDecision:
-    """The Section 4 pipeline: partition once, then two construction phases."""
+    """The Section 4 pipeline: partition once, then two construction phases.
+
+    The phases themselves — one task per partition file, then the coarse
+    node ``N`` — are planned and executed by :mod:`repro.build`; adaptive
+    re-partitioning of an over-budget partition happens inside the
+    executor as a task expansion (see
+    :func:`repro.build.plan.expansion_children`).
+    """
     if not schema.all_distributive:
         raise ValueError(
             "external partitioning requires distributive aggregates "
             "(observation 3 of Section 4 excludes holistic functions)"
         )
+    from repro.build import single_level_plan
+
     heap = engine.relation(relation)
     storage.fact_row_count = len(heap)
     storage.row_resolver = lambda rowid: schema.dim_values(heap.read_row(rowid))
@@ -468,188 +533,28 @@ def _build_partitioned(
             # The "rare case" of Section 4: no single level works — fall
             # back to partitioning on pairs of dimensions.
             return _build_pair_partitioned(
-                schema, storage, pool, min_count, stats, engine, relation
+                schema,
+                storage,
+                pool,
+                min_count,
+                stats,
+                engine,
+                relation,
+                workers,
+                executor,
             )
         storage.partition_level = decision.level
         partitions, coarse_name = partition_relation(
             engine, relation, schema, decision, stats
         )
-
-        # Phase 1: every node containing dimension 0 at level <= L.
-        partition_shape = HierarchicalShape(schema)
-        builder = CureBuilder(
-            schema, storage, pool, partition_shape, min_count, stats
-        )
         stats.fact_read_passes += 1  # loading the partitions re-reads R once
-        for name in partitions:
-            process_partition(
-                builder, engine, schema, name, decision.level, min_count
-            )
-
-        # Phase 2: everything else, from the coarse node N (reloaded from
-        # disk — it was persisted during the partition pass, line 19 of
-        # Figure 13).
-        base_levels = [0] * schema.n_dimensions
-        base_levels[0] = decision.level + 1
-        coarse_shape = HierarchicalShape(schema, tuple(base_levels))
-        coarse, release_coarse = load_coarse_working_set(
-            engine, coarse_name, schema
+        plan = single_level_plan(
+            schema, min_count, partitions, coarse_name, decision.level
         )
-        try:
-            coarse_builder = CureBuilder(
-                schema, storage, pool, coarse_shape, min_count, stats
-            )
-            coarse_builder.run(coarse)
-            coarse_builder.finish()
-        finally:
-            release_coarse()
+        _run_plan(plan, storage, pool, stats, engine, workers, executor)
         return decision
     finally:
         engine.memory.release(pool_token)
-
-
-def process_partition(
-    builder: CureBuilder,
-    engine: Engine,
-    schema: CubeSchema,
-    name: str,
-    level: int,
-    min_count: int,
-) -> None:
-    """Build one partition's nodes, re-partitioning adaptively on overflow.
-
-    Partition files are sized from *estimates*; when loading one exceeds
-    the remaining budget (a skewed member under the ``uniform`` strategy,
-    or a mid-build shock), the partition is split at a finer level of
-    dimension 0 and processed piecewise — sub-partitions cover dimension 0
-    at levels ≤ L'', a local coarse node covers (L'', L] — instead of
-    aborting the whole build.  Sub-partitions that still overflow recurse.
-    When no finer level of dimension 0 exists (the skew sits inside one
-    base-level member), the split extends to (A_L0, B_M) member pairs
-    locally and the pieces are descended with the pair machinery
-    (:func:`_process_local_pair_split`).
-    """
-    try:
-        loaded = engine.load(name)
-    except MemoryBudgetExceeded:
-        _process_oversized_partition(
-            builder, engine, schema, name, level, min_count
-        )
-        return
-    with loaded as table:
-        working = WorkingSet.from_partition_table(schema, table)
-        builder.run_partition(working, level)
-
-
-def _process_oversized_partition(
-    builder: CureBuilder,
-    engine: Engine,
-    schema: CubeSchema,
-    name: str,
-    level: int,
-    min_count: int,
-) -> None:
-    """Adaptive re-partitioning: split, recurse, then the local coarse."""
-    split = repartition_partition(
-        engine, name, schema, level, stats=builder.stats
-    )
-    if isinstance(split, PairRepartition):
-        _process_local_pair_split(builder, engine, schema, split, min_count)
-        return
-    for sub_name in split.partition_names:
-        process_partition(
-            builder, engine, schema, sub_name, split.level, min_count
-        )
-        engine.catalog.drop(sub_name)
-
-    # The parent's (L'', L] slice of the lattice, rebuilt from the local
-    # coarse node: enter dimension 0 at L, floor the descent at L''+1.
-    base_levels = [0] * schema.n_dimensions
-    base_levels[0] = split.level + 1
-    local_shape = HierarchicalShape(schema, tuple(base_levels))
-    local_builder = CureBuilder(
-        schema,
-        builder.storage,
-        builder.pool,
-        local_shape,
-        min_count,
-        builder.stats,
-    )
-    coarse, release_coarse = load_coarse_working_set(
-        engine, split.coarse_name, schema
-    )
-    try:
-        local_builder.run_partition(coarse, level)
-    finally:
-        release_coarse()
-    engine.catalog.drop(split.coarse_name)
-
-
-def _process_local_pair_split(
-    builder: CureBuilder,
-    engine: Engine,
-    schema: CubeSchema,
-    split: PairRepartition,
-    min_count: int,
-) -> None:
-    """Descend a locally pair-split partition: pairs, local N1, local N2.
-
-    The three phases mirror :func:`_build_pair_partitioned`, scoped to the
-    parent partition's rows — their union is exactly the node region the
-    parent (sound on ``A_{parent_level}``) was responsible for: nodes
-    containing dimension 0 at levels ≤ ``parent_level``.
-    """
-    # Region P: dims 0 and 1 both present at levels <= (L0, M).
-    for sub_name in split.partition_names:
-        with engine.load(sub_name) as loaded:
-            working = WorkingSet.from_partition_table(schema, loaded)
-            builder.run_partition_pair(working, split.level0, split.level1)
-        engine.catalog.drop(sub_name)
-
-    # Region N1: dimension 0 in (L0, parent_level], any dimension 1.
-    # Skipped when level0 == parent_level — the slice is empty and
-    # re-running it would double-count the pair partitions' nodes.
-    if split.coarse1_name is not None:
-        base_levels = [0] * schema.n_dimensions
-        base_levels[0] = split.level0 + 1
-        n1_shape = HierarchicalShape(schema, tuple(base_levels))
-        n1_builder = CureBuilder(
-            schema,
-            builder.storage,
-            builder.pool,
-            n1_shape,
-            min_count,
-            builder.stats,
-        )
-        coarse1, release1 = load_coarse_working_set(
-            engine, split.coarse1_name, schema
-        )
-        try:
-            n1_builder.run_partition(coarse1, split.parent_level)
-        finally:
-            release1()
-        engine.catalog.drop(split.coarse1_name)
-
-    # Region N2: dimension 0 present <= L0, dimension 1 above M or absent.
-    base_levels = [0] * schema.n_dimensions
-    base_levels[1] = split.level1 + 1
-    n2_shape = HierarchicalShape(schema, tuple(base_levels))
-    n2_builder = CureBuilder(
-        schema,
-        builder.storage,
-        builder.pool,
-        n2_shape,
-        min_count,
-        builder.stats,
-    )
-    coarse2, release2 = load_coarse_working_set(
-        engine, split.coarse2_name, schema
-    )
-    try:
-        n2_builder.run_partition(coarse2, split.level0)
-    finally:
-        release2()
-    engine.catalog.drop(split.coarse2_name)
 
 
 def _build_pair_partitioned(
@@ -660,6 +565,8 @@ def _build_pair_partitioned(
     stats: BuildStats,
     engine: Engine,
     relation: str,
+    workers: int = 1,
+    executor: object | None = None,
 ):
     """Pair-partitioning pipeline: partitions + two coarse nodes.
 
@@ -670,49 +577,23 @@ def _build_pair_partitioned(
     absent; coarse node N2 covers dimension 0 present ≤ L with dimension 1
     above M or absent.
     """
+    from repro.build import pair_plan
+
     decision = select_partition_pair(engine, relation, schema)
     storage.partition_level = decision.level0
     storage.partition_level2 = decision.level1
     partitions, n1_name, n2_name = partition_relation_pair(
         engine, relation, schema, decision, stats
     )
-
-    # Phase P: dims 0 and 1 both present at levels <= (L, M).
-    pair_shape = HierarchicalShape(schema)
-    builder = CureBuilder(schema, storage, pool, pair_shape, min_count, stats)
     stats.fact_read_passes += 1
-    for name in partitions:
-        with engine.load(name) as loaded:
-            working = WorkingSet.from_partition_table(schema, loaded)
-            builder.run_partition_pair(
-                working, decision.level0, decision.level1
-            )
-
-    # Phase N1: dimension 0 at levels [L+1, ALL].
-    base_levels = [0] * schema.n_dimensions
-    base_levels[0] = decision.level0 + 1
-    n1_shape = HierarchicalShape(schema, tuple(base_levels))
-    coarse1, release1 = load_coarse_working_set(engine, n1_name, schema)
-    try:
-        CureBuilder(schema, storage, pool, n1_shape, min_count, stats).run(
-            coarse1
-        )
-    finally:
-        release1()
-
-    # Phase N2: dimension 0 present at levels <= L, dimension 1 at
-    # levels [M+1, ALL].
-    base_levels = [0] * schema.n_dimensions
-    base_levels[1] = decision.level1 + 1
-    n2_shape = HierarchicalShape(schema, tuple(base_levels))
-    coarse2, release2 = load_coarse_working_set(engine, n2_name, schema)
-    try:
-        n2_builder = CureBuilder(
-            schema, storage, pool, n2_shape, min_count, stats
-        )
-        n2_builder.run_partition(coarse2, decision.level0)
-    finally:
-        release2()
-
-    pool.flush()
+    plan = pair_plan(
+        schema,
+        min_count,
+        partitions,
+        n1_name,
+        n2_name,
+        decision.level0,
+        decision.level1,
+    )
+    _run_plan(plan, storage, pool, stats, engine, workers, executor)
     return decision

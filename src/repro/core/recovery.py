@@ -21,13 +21,16 @@ restarting:
   points at a checkpoint only after all of its files and checksums are on
   disk, so a crash mid-checkpoint is invisible: resume restores the last
   referenced checkpoint and re-runs only the partitions after it.
-  Adaptive re-partitioning — including the *local pair* split for
-  intra-member skew — happens inside :func:`process_partition`, i.e.
-  strictly between checkpoints: a crash mid-split re-runs that partition
-  from the previous barrier, and because the split decisions are
-  recomputed deterministically (exact counts over the same rows, same
-  budget) the resumed build recreates identical ``.sub<i>`` /
-  ``.coarseN*`` scaffolding and the cube stays byte-identical.
+  Construction itself runs through the :mod:`repro.build` scheduler —
+  sequential or multi-process — which delivers each partition's outcomes
+  as one unit; adaptive re-partitioning (including the *local pair*
+  split for intra-member skew) happens inside the executor as a task
+  expansion, i.e. strictly between checkpoints: a crash mid-split
+  re-runs that partition from the previous barrier, and because the
+  split decisions are recomputed deterministically (exact counts over
+  the same rows, same budget) the resumed build recreates identical
+  ``.sub<i>`` / ``.coarseN*`` scaffolding and the cube stays
+  byte-identical.
 * **Stage C — coarse node + final commit.**  The finished cube is
   persisted to staging names, each relation is atomically promoted, and
   the manifest flips to ``complete`` with per-file checksums and row
@@ -50,19 +53,17 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.build import apply_outcome, make_executor, pair_plan, single_level_plan
 from repro.core.cure import (
     BuildStats,
     CubeResult,
-    CureBuilder,
-    HierarchicalShape,
+    _fold_executor_stats,
     build_cube,
-    process_partition,
 )
 from repro.core.model import CubeSchema
 from repro.core.partition import (
     PairPartitionDecision,
     PartitionDecision,
-    load_coarse_working_set,
     partition_relation,
     partition_relation_pair,
     select_partition_level,
@@ -70,7 +71,6 @@ from repro.core.partition import (
 )
 from repro.core.signature import PoolStats, SignaturePool
 from repro.core.storage import CubeStorage
-from repro.core.workingset import WorkingSet
 from repro.relational.catalog import Catalog
 from repro.relational.durable import (
     atomic_write_text,
@@ -217,6 +217,11 @@ class DurableCubeBuild:
     ``checkpoint_every`` trades checkpoint I/O against re-done work on
     resume; the flush *barriers* happen every partition regardless, so
     the cadence never changes the cube's content.
+
+    ``workers`` selects the build executor (see :mod:`repro.build`); it
+    is deliberately *not* part of the recorded build options — a build
+    crashed under one executor may resume under another, because every
+    executor produces the same bytes and the same checkpoints.
     """
 
     schema: CubeSchema
@@ -228,6 +233,7 @@ class DurableCubeBuild:
     dr_mode: bool = False
     partition_strategy: str = "exact"
     checkpoint_every: int = 1
+    workers: int = 1
 
     @property
     def manifest_path(self) -> Path:
@@ -379,75 +385,60 @@ class DurableCubeBuild:
                 on_cats=storage.write_cat_run,
                 on_statistics=storage.decide_format,
             )
-            builder = CureBuilder(
-                self.schema,
-                storage,
-                pool,
-                HierarchicalShape(self.schema),
-                self.min_count,
-                stats,
-            )
             if completed == 0:
                 stats.fact_read_passes += 1  # the partitions re-read R once
 
             pair_mode = manifest.partition_mode == "pair"
             level2 = int(manifest.partition_level2 or 0)
-            index = completed
-            while index < len(partition_names):
-                if pair_mode:
-                    with engine.load(partition_names[index]) as loaded:
-                        working = WorkingSet.from_partition_table(
-                            self.schema, loaded
-                        )
-                        builder.run_partition_pair(working, level, level2)
-                else:
-                    process_partition(
-                        builder,
-                        engine,
-                        self.schema,
-                        partition_names[index],
-                        level,
-                        self.min_count,
-                    )
-                index += 1
-                # Barrier: with the pool empty, the in-memory storage is
-                # the complete build state — and the barrier is taken in
-                # every run, so resumed and uninterrupted builds classify
-                # NTs vs CATs over identical windows.
-                pool.flush()
-                if (
-                    index % max(1, self.checkpoint_every) == 0
-                    or index == len(partition_names)
-                ):
-                    self._write_checkpoint(manifest, storage, stats, index)
-
             if pair_mode:
-                self._coarse_pair_phases(
-                    manifest, storage, pool, stats, level, level2
+                plan = pair_plan(
+                    self.schema,
+                    self.min_count,
+                    partition_names,
+                    str((manifest.coarse or {})["name"]),
+                    str((manifest.coarse2 or {})["name"]),
+                    level,
+                    level2,
                 )
             else:
-                coarse = manifest.coarse or {}
-                base_levels = [0] * self.schema.n_dimensions
-                base_levels[0] = level + 1
-                coarse_shape = HierarchicalShape(
-                    self.schema, tuple(base_levels)
+                plan = single_level_plan(
+                    self.schema,
+                    self.min_count,
+                    partition_names,
+                    str((manifest.coarse or {})["name"]),
+                    level,
                 )
-                working, release_coarse = load_coarse_working_set(
-                    engine, str(coarse["name"]), self.schema
-                )
-                try:
-                    coarse_builder = CureBuilder(
-                        self.schema,
-                        storage,
-                        pool,
-                        coarse_shape,
-                        self.min_count,
-                        stats,
-                    )
-                    coarse_builder.run(working)
-                    coarse_builder.finish()
-                finally:
-                    release_coarse()
+            executor = make_executor(engine, self.workers)
+            faults = catalog.faults
+            last_unit = len(plan.units) - 1
+            index = completed
+
+            def on_unit(completion) -> None:
+                nonlocal index
+                for outcome in completion.outcomes:
+                    apply_outcome(outcome, storage, pool, stats, faults)
+                    if outcome.task.drop_after:
+                        catalog.drop(outcome.task.relation)
+                if completion.unit.kind == "partition":
+                    index += 1
+                    # Barrier: with the pool empty, the in-memory storage
+                    # is the complete build state — and the barrier is
+                    # taken in every run, so resumed and uninterrupted
+                    # builds classify NTs vs CATs over identical windows.
+                    pool.flush()
+                    if (
+                        index % max(1, self.checkpoint_every) == 0
+                        or index == len(partition_names)
+                    ):
+                        self._write_checkpoint(manifest, storage, stats, index)
+                elif completion.unit.index == last_unit:
+                    # The coarse phases share one flush window (a single
+                    # coarse node, or the N1/N2 pair), exactly as the
+                    # inline pipeline always flushed them.
+                    pool.flush()
+
+            executor.run(plan, on_unit, start_unit=completed)
+            _fold_executor_stats(stats, executor.stats)
         finally:
             engine.memory.release(pool_token)
 
@@ -610,55 +601,6 @@ class DurableCubeBuild:
         for coarse_entry in (manifest.coarse, manifest.coarse2):
             if coarse_entry and catalog.exists(str(coarse_entry["name"])):
                 catalog.drop(str(coarse_entry["name"]))
-
-    def _coarse_pair_phases(
-        self,
-        manifest: BuildManifest,
-        storage: CubeStorage,
-        pool: SignaturePool,
-        stats: BuildStats,
-        level0: int,
-        level1: int,
-    ) -> None:
-        """Phases N1/N2 of a pair build (see ``_build_pair_partitioned``).
-
-        Both phases re-run in full on resume: the last partition
-        checkpoint precedes them, and the pool flush at that barrier makes
-        their classification windows identical across runs.
-        """
-        engine = self.engine
-        coarse1 = manifest.coarse or {}
-        coarse2 = manifest.coarse2 or {}
-
-        # Phase N1: dimension 0 at levels [L+1, ALL].
-        base_levels = [0] * self.schema.n_dimensions
-        base_levels[0] = level0 + 1
-        n1_shape = HierarchicalShape(self.schema, tuple(base_levels))
-        working, release = load_coarse_working_set(
-            engine, str(coarse1["name"]), self.schema
-        )
-        try:
-            CureBuilder(
-                self.schema, storage, pool, n1_shape, self.min_count, stats
-            ).run(working)
-        finally:
-            release()
-
-        # Phase N2: dimension 0 present at levels <= L, dimension 1 at
-        # levels [M+1, ALL].
-        base_levels = [0] * self.schema.n_dimensions
-        base_levels[1] = level1 + 1
-        n2_shape = HierarchicalShape(self.schema, tuple(base_levels))
-        working, release = load_coarse_working_set(
-            engine, str(coarse2["name"]), self.schema
-        )
-        try:
-            CureBuilder(
-                self.schema, storage, pool, n2_shape, self.min_count, stats
-            ).run_partition(working, level0)
-        finally:
-            release()
-        pool.flush()
 
     # -- verification helpers -----------------------------------------------
 

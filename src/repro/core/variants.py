@@ -51,6 +51,7 @@ class CureConfig:
         table: Table | None = None,
         engine: Engine | None = None,
         relation: str | None = None,
+        workers: int = 1,
     ) -> tuple[CubeResult, PlusReport | None]:
         result = build_cube(
             schema,
@@ -61,6 +62,7 @@ class CureConfig:
             min_count=self.min_count,
             dr_mode=self.dr_mode,
             flat=self.flat,
+            workers=workers,
         )
         plus_report = None
         if self.plus:

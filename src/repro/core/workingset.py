@@ -120,6 +120,67 @@ class WorkingSet:
         return working
 
     @classmethod
+    def from_partition_array(
+        cls, schema: CubeSchema, records: np.ndarray
+    ) -> "WorkingSet":
+        """Wrap a memory-mapped partition record array (the parallel
+        executor's zero-copy load path).
+
+        Produces arrays elementwise identical to
+        :meth:`from_partition_table` over the same file: dimension
+        columns are the leading INT32 fields, measures go through
+        ``spec.function.from_column`` (the vectorized contract of
+        ``from_value``), and the trailing ``r_rowid`` field supplies the
+        original fact row-ids.  Columns are copied out of the map, so
+        releasing the mapping afterwards is safe.
+        """
+        names = records.dtype.names
+        n = len(records)
+        d = schema.n_dimensions
+        dims = [
+            np.ascontiguousarray(records[names[dim]], dtype=np.int32)
+            for dim in range(d)
+        ]
+        aggs = np.empty((n, schema.n_aggregates), dtype=np.int64)
+        for y, spec in enumerate(schema.aggregates):
+            column = np.asarray(
+                records[names[d + spec.measure_index]], dtype=np.int64
+            )
+            aggs[:, y] = spec.function.from_column(column)
+        weights = np.ones(n, dtype=np.int64)
+        rowids = np.ascontiguousarray(records["r_rowid"], dtype=np.int64)
+        return cls(schema, dims, aggs, weights, rowids)
+
+    @classmethod
+    def from_coarse_array(
+        cls, schema: CubeSchema, records: np.ndarray
+    ) -> "WorkingSet":
+        """Wrap a memory-mapped coarse-node record array.
+
+        Coarse relations are positionally uniform regardless of flavor
+        (``coarseN`` / ``coarseN1`` / ``coarseN2``): ``n_dimensions``
+        INT32 codes, ``n_aggregates`` INT64 partials, weight, min rowid
+        — the same positions :func:`~repro.core.partition.\
+load_coarse_working_set` reads row by row.
+        """
+        names = records.dtype.names
+        n = len(records)
+        d = schema.n_dimensions
+        y = schema.n_aggregates
+        dims = [
+            np.ascontiguousarray(records[names[dim]], dtype=np.int32)
+            for dim in range(d)
+        ]
+        aggs = np.empty((n, y), dtype=np.int64)
+        for i in range(y):
+            aggs[:, i] = records[names[d + i]]
+        weights = np.ascontiguousarray(records[names[d + y]], dtype=np.int64)
+        rowids = np.ascontiguousarray(
+            records[names[d + y + 1]], dtype=np.int64
+        )
+        return cls(schema, dims, aggs, weights, rowids)
+
+    @classmethod
     def empty(cls, schema: CubeSchema) -> "WorkingSet":
         return cls(
             schema,

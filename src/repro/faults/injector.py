@@ -63,6 +63,7 @@ SITE_FAMILIES: frozenset[str] = frozenset(
         "ingest.seal",
         "ingest.apply",
         "ingest.compact",
+        "build.worker",
     }
 )
 

@@ -19,8 +19,10 @@ directory and soundly degraded (single-module graph) under
   chain (``cubelint --explain``).
 * **R12** — parallel-safety audit: ``global`` rebinds anywhere, and
   unsynchronized mutation of module-level mutable state by any function
-  reachable from ``process_partition``/``run_partition_pair``.  Mutation
-  under a module-level ``threading.Lock`` is the sanctioned idiom.
+  reachable from the build-task entry points (``execute_task`` — the
+  interpreter both executors share — ``run_partition_pair``, and the
+  worker-process loop ``_worker_main``).  Mutation under a module-level
+  ``threading.Lock`` is the sanctioned idiom.
 * **R13** — fault-site coverage: every durable-primitive call reachable
   from the build entry points must execute under at least one registered
   ``FaultInjector`` site (a ``maybe_fire``/``fire`` call in the function
@@ -58,7 +60,16 @@ DURABLE_PRIMITIVES = frozenset(
 _FIRE_CALLS = {"maybe_fire": 1, "fire": 0, "_fire_retrying": 0}
 
 #: Build entry points whose transitive callees R12/R13 audit.
-R12_ENTRY_SUFFIXES = ("process_partition", "run_partition_pair")
+#: ``execute_task`` is the shared task interpreter both build executors
+#: run (the sequential one inline, ``_worker_main`` in spawned worker
+#: processes); ``process_partition`` survives as a suffix for fixture
+#: compatibility and for downstream code keeping the historical name.
+R12_ENTRY_SUFFIXES = (
+    "process_partition",
+    "run_partition_pair",
+    "execute_task",
+    "_worker_main",
+)
 R13_ENTRY_SUFFIXES = R12_ENTRY_SUFFIXES + (
     "DurableCubeBuild.build",
     "DurableCubeBuild.resume",

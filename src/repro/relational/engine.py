@@ -12,6 +12,8 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from repro.relational.catalog import Catalog
 from repro.relational.durable import FaultHook, RetryPolicy, with_retries
 from repro.relational.heap import HeapFile
@@ -40,6 +42,34 @@ class LoadedTable:
 
     def __enter__(self) -> Table:
         return self.table
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@dataclass
+class MappedRelation:
+    """A relation mapped read-only under a memory reservation.
+
+    The parallel-build counterpart of :class:`LoadedTable`: ``records``
+    is the structured array from :meth:`HeapFile.load_mapped`.  The
+    reservation covers the same byte count a full load would, so budget
+    decisions (and the fault sites that guard them) are identical on
+    both paths.
+    """
+
+    records: "np.ndarray"
+    _memory: MemoryManager
+    _token: int
+    _released: bool = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._memory.release(self._token)
+            self._released = True
+
+    def __enter__(self) -> "np.ndarray":
+        return self.records
 
     def __exit__(self, *exc_info) -> None:
         self.release()
@@ -95,6 +125,24 @@ class Engine:
             self.memory.release(token)
             raise
         return LoadedTable(table, self.memory, token)
+
+    def load_mapped(self, name: str) -> MappedRelation:
+        """Map a relation read-only under the same reservation as a load.
+
+        Used by parallel build workers: the data stays in the shared OS
+        page cache instead of being unpacked per process, but the memory
+        manager accounts the same bytes — a mapped working set displaces
+        real memory just like a loaded one — so budget decisions match
+        :meth:`load` exactly.
+        """
+        heap = self.relation(name)
+        token = self.memory.reserve(heap.size_bytes, what=f"load({name})")
+        try:
+            records = with_retries(heap.load_mapped, policy=self.retry_policy)
+        except BaseException:
+            self.memory.release(token)
+            raise
+        return MappedRelation(records, self.memory, token)
 
     def install_faults(self, faults: FaultHook | None) -> None:
         """Install (or clear) a fault-injection hook across the engine."""

@@ -336,6 +336,26 @@ class HeapFile:
         """Read the whole file into an in-memory :class:`Table`."""
         return Table(self.schema, list(self.scan()))
 
+    def load_mapped(self) -> np.ndarray:
+        """Map the whole file read-only as a structured record array.
+
+        The schema's packed numpy dtype reinterprets the record bytes in
+        place (the same equivalence :meth:`scan_batches` relies on), so
+        parallel build workers get zero-copy views of a partition file
+        the OS page cache shares across processes.  Fires the same
+        ``heap.read`` site and counts the same I/O statistics as a
+        :meth:`scan`-backed load.
+        """
+        self._fire_retrying(f"heap.read:{self.path.name}")
+        n = len(self)
+        self.stats.sequential_passes += 1
+        self.stats.rows_read += n
+        if n == 0:
+            return np.empty(0, dtype=self.schema.numpy_dtype)
+        return np.memmap(
+            self.path, dtype=self.schema.numpy_dtype, mode="r", shape=(n,)
+        )
+
     def load_batch(self) -> ColumnBatch:
         """Read the whole file as a single columnar batch."""
         return ColumnBatch.concat(self.schema, list(self.scan_batches()))

@@ -1,0 +1,148 @@
+"""Unit tests for the plan layer: DAG shape, floors, expansion splicing."""
+
+from __future__ import annotations
+
+from repro.build import expansion_children, pair_plan, single_level_plan
+from repro.build.tasks import (
+    KIND_COARSE_PARTITION,
+    KIND_COARSE_RUN,
+    KIND_PAIR,
+    KIND_PARTITION,
+)
+from repro.core.partition import PairRepartition, Repartition
+from repro.datasets.synthetic import generate_flat_dataset
+
+
+def _schema():
+    schema, _table = generate_flat_dataset(
+        2, 10, cardinalities=(4, 3), aggregates=(("sum", 0),)
+    )
+    return schema
+
+
+def test_single_level_plan_shape():
+    schema = _schema()
+    plan = single_level_plan(
+        schema, 1, ["fact.part0", "fact.part1"], "fact.coarseN", 2
+    )
+    assert len(plan.units) == 3
+    assert plan.n_partition_units == 2
+    for index, unit in enumerate(plan.units[:2]):
+        assert unit.index == index
+        assert unit.kind == "partition"
+        (task,) = unit.tasks
+        assert task.kind == KIND_PARTITION
+        assert task.relation == f"fact.part{index}"
+        assert task.level == 2
+        assert task.unit == index
+        assert task.base_floor is None
+        assert not task.drop_after
+        assert task.task_id == f"u{index}:fact.part{index}"
+    coarse_unit = plan.units[2]
+    assert coarse_unit.kind == "coarse"
+    (coarse,) = coarse_unit.tasks
+    assert coarse.kind == KIND_COARSE_RUN
+    assert coarse.relation == "fact.coarseN"
+    assert coarse.base_floor == (3, 0)
+    assert coarse.unit == 2
+
+
+def test_pair_plan_shape():
+    schema = _schema()
+    plan = pair_plan(
+        schema, 1, ["fact.pair0"], "fact.coarseN1", "fact.coarseN2", 1, 2
+    )
+    assert [unit.kind for unit in plan.units] == [
+        "partition",
+        "coarse",
+        "coarse",
+    ]
+    (pair,) = plan.units[0].tasks
+    assert pair.kind == KIND_PAIR
+    assert (pair.level, pair.level1) == (1, 2)
+    (n1,) = plan.units[1].tasks
+    assert n1.kind == KIND_COARSE_RUN
+    assert n1.base_floor == (2, 0)
+    (n2,) = plan.units[2].tasks
+    assert n2.kind == KIND_COARSE_PARTITION
+    assert n2.level == 1
+    assert n2.base_floor == (0, 3)
+
+
+def test_expansion_children_single_split():
+    schema = _schema()
+    plan = single_level_plan(schema, 1, ["fact.part3"], "fact.coarseN", 2)
+    (parent,) = plan.units[0].tasks
+    split = Repartition(
+        level=0,
+        parent_level=2,
+        partition_names=["fact.part3.sub0", "fact.part3.sub1"],
+        coarse_name="fact.part3.coarseN",
+        n_rows=100,
+    )
+    children = expansion_children(parent, split, schema.n_dimensions)
+    assert [c.kind for c in children] == [
+        KIND_PARTITION,
+        KIND_PARTITION,
+        KIND_COARSE_PARTITION,
+    ]
+    assert all(c.drop_after for c in children)
+    assert all(c.unit == parent.unit for c in children)
+    subs = children[:2]
+    assert [c.level for c in subs] == [0, 0]
+    coarse = children[2]
+    # The local coarse re-enters dimension 0 at the parent's level with
+    # descent floored just above the split level.
+    assert coarse.level == parent.level
+    assert coarse.base_floor == (1, 0)
+
+
+def test_expansion_children_local_pair_split():
+    schema = _schema()
+    plan = single_level_plan(schema, 1, ["fact.part3"], "fact.coarseN", 2)
+    (parent,) = plan.units[0].tasks
+    split = PairRepartition(
+        level0=0,
+        level1=1,
+        parent_level=2,
+        partition_names=["fact.part3.p0"],
+        coarse1_name="fact.part3.coarseN1",
+        coarse2_name="fact.part3.coarseN2",
+        n_rows=100,
+    )
+    children = expansion_children(parent, split, schema.n_dimensions)
+    assert [c.kind for c in children] == [
+        KIND_PAIR,
+        KIND_COARSE_PARTITION,
+        KIND_COARSE_PARTITION,
+    ]
+    pair, coarse1, coarse2 = children
+    assert (pair.level, pair.level1) == (0, 1)
+    assert coarse1.level == split.parent_level
+    assert coarse1.base_floor == (1, 0)
+    assert coarse2.level == split.level0
+    assert coarse2.base_floor == (0, 2)
+    assert all(c.drop_after for c in children)
+
+
+def test_expansion_children_pair_split_without_n1():
+    """When the split enters at the parent's own level, the local N1
+    slice is empty and must not produce a task (double counting)."""
+    schema = _schema()
+    plan = single_level_plan(schema, 1, ["fact.part3"], "fact.coarseN", 0)
+    (parent,) = plan.units[0].tasks
+    split = PairRepartition(
+        level0=0,
+        level1=0,
+        parent_level=0,
+        partition_names=["fact.part3.p0", "fact.part3.p1"],
+        coarse1_name=None,
+        coarse2_name="fact.part3.coarseN2",
+        n_rows=100,
+    )
+    children = expansion_children(parent, split, schema.n_dimensions)
+    assert [c.kind for c in children] == [
+        KIND_PAIR,
+        KIND_PAIR,
+        KIND_COARSE_PARTITION,
+    ]

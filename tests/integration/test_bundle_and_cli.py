@@ -158,12 +158,43 @@ def test_cli_build_with_memory_budget_partitions(cli_workspace, capsys):
     out = capsys.readouterr().out
     assert "partitions:" in out
     assert "pair-repartitioned:" in out
+    assert "executor: 1 worker(s)" in out
 
     assert cli_main([
         "query", "--cube", str(cube_dir), "--group-by", "Region.country",
     ]) == 0
     out = capsys.readouterr().out
     assert "Greece" in out and "France" in out
+
+
+def test_cli_build_parallel_workers_matches_sequential(cli_workspace, capsys):
+    from repro.core.signature import SignaturePool
+    from repro.datasets.loader import load_csv
+
+    tmp_path, csv_path, spec_path = cli_workspace
+    loaded = load_csv(
+        csv_path,
+        [DimensionSpec.of("Region", "city", "country"),
+         DimensionSpec.of("Product", "sku")],
+        ["qty"],
+    )
+    pool_bytes = SignaturePool.size_bytes(200, loaded.schema.n_aggregates)
+    budget = pool_bytes + 120 * loaded.schema.partition_schema.row_size_bytes
+    answers = {}
+    for workers in (1, 2):
+        cube_dir = tmp_path / f"cube_w{workers}"
+        assert cli_main([
+            "build", "--csv", str(csv_path), "--spec", str(spec_path),
+            "--out", str(cube_dir), "--variant", "CURE", "--pool", "200",
+            "--memory-budget", str(budget), "--workers", str(workers),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"executor: {workers} worker(s)" in out
+        assert cli_main([
+            "query", "--cube", str(cube_dir), "--group-by", "Region.country",
+        ]) == 0
+        answers[workers] = capsys.readouterr().out
+    assert answers[2] == answers[1]
 
 
 def test_cli_query_where_filters_members(cli_workspace, capsys):

@@ -83,7 +83,9 @@ def _raw_cube(storage: CubeStorage):
     return nodes, tuple(storage.aggregates_rows), storage.cat_format
 
 
-def _build_budgeted(root, schema, table) -> tuple[Engine, CubeResult, int]:
+def _build_budgeted(
+    root, schema, table, workers: int = 1
+) -> tuple[Engine, CubeResult, int]:
     budget = _budget(schema)
     engine = Engine(Catalog(root), MemoryManager(budget))
     engine.store_table("fact", table)
@@ -93,6 +95,7 @@ def _build_budgeted(root, schema, table) -> tuple[Engine, CubeResult, int]:
         relation="fact",
         pool_capacity=POOL_CAPACITY,
         partition_strategy="uniform",
+        workers=workers,
     )
     return engine, result, budget
 
@@ -200,3 +203,31 @@ def test_skewed_budgeted_build_is_deterministic(tmp_path, hot_member):
     assert _raw_cube(result_a.storage) == _raw_cube(result_b.storage)
     engine_a.close()
     engine_b.close()
+
+
+@pytest.mark.parametrize("instance", [hot_member_instance, zipf_instance])
+def test_parallel_build_matches_sequential_bytes(tmp_path, instance):
+    """The work-stealing executor reproduces the sequential build byte for
+    byte on skewed inputs — including through worker-side adaptive
+    re-partitioning (hot member → local pair split inside a worker)."""
+    schema, table = instance()
+    engine_seq, seq, budget = _build_budgeted(tmp_path / "seq", schema, table)
+    engine_par, par, _ = _build_budgeted(
+        tmp_path / "par", schema, table, workers=2
+    )
+    assert par.stats.pair_repartitioned_partitions >= 1
+    assert _raw_cube(par.storage) == _raw_cube(seq.storage)
+    assert par.stats.tasks_run == seq.stats.tasks_run
+    assert par.stats.workers == 2
+    assert par.stats.peak_worker_bytes <= budget
+    engine_seq.close()
+    engine_par.close()
+
+
+def test_parallel_build_answers_queries(tmp_path):
+    schema, table = zipf_instance()
+    engine, result, _ = _build_budgeted(
+        tmp_path / "eng", schema, table, workers=2
+    )
+    _assert_matches_reference(engine, schema, table, result)
+    engine.close()

@@ -60,13 +60,14 @@ def _fresh_engine(root, schema, table) -> Engine:
     return engine
 
 
-def _durable(schema, engine) -> DurableCubeBuild:
+def _durable(schema, engine, workers: int = 1) -> DurableCubeBuild:
     return DurableCubeBuild(
         schema,
         engine,
         "fact",
         pool_capacity=POOL_CAPACITY,
         partition_strategy="uniform",
+        workers=workers,
     )
 
 
@@ -189,3 +190,57 @@ def test_resume_after_completion_reloads_identically(
     result = _durable(schema, engine).resume()
     assert _cube_bytes(result.storage) == reference
     engine.close()
+
+
+def test_parallel_durable_build_matches_reference(
+    tmp_path_factory, instance, baseline
+):
+    """A durable build under the work-stealing executor writes the same
+    cube — and passes the same verification — as the sequential one, even
+    though the local pair split happens inside a worker process."""
+    reference, _trace = baseline
+    schema, table = instance
+    root = tmp_path_factory.mktemp("localpar")
+    engine = _fresh_engine(root, schema, table)
+    durable = _durable(schema, engine, workers=2)
+    result = durable.build()
+    assert result.stats.pair_repartitioned_partitions >= 1
+    assert result.stats.workers == 2
+    report = verify_cube(engine.catalog, durable.manifest_path)
+    assert report.ok, report.describe()
+    assert _cube_bytes(result.storage) == reference
+    engine.close()
+
+
+def test_crash_then_parallel_resume_identical(
+    tmp_path_factory, instance, baseline
+):
+    """Executor choice is not part of the durable contract: a build
+    crashed under the sequential executor resumes under the parallel one
+    (and lands on the same bytes) — checkpoints only record completed
+    units, never who ran them."""
+    reference, trace = baseline
+    points = seeded_crash_indices(FAULT_SEED, len(trace), MAX_CRASH_POINTS)[:3]
+    schema, table = instance
+    for point in points:
+        tmp = tmp_path_factory.mktemp(f"localxres{point}")
+        engine = _fresh_engine(tmp, schema, table)
+        engine.install_faults(
+            FaultInjector(
+                plan=(FaultSpec(site="*", kind=FaultKind.CRASH, hit=point + 1),)
+            )
+        )
+        with pytest.raises(InjectedCrash):
+            _durable(schema, engine).build()
+        engine.close()
+
+        engine = Engine(Catalog(tmp), MemoryManager(_budget(schema)))
+        durable = _durable(schema, engine, workers=2)
+        result = durable.resume()
+        report = verify_cube(engine.catalog, durable.manifest_path)
+        assert report.ok, report.describe()
+        assert _cube_bytes(result.storage) == reference, (
+            f"parallel resume differs after crash at point {point} "
+            f"({trace[point]})"
+        )
+        engine.close()
