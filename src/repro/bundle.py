@@ -142,6 +142,41 @@ class CubeBundle:
             seed=seed,
         )
 
+    def planner(
+        self,
+        fraction: float = 1.0,
+        seed: int = 7,
+        result_cache_entries: int = 128,
+        result_cache_bytes: int | None = None,
+        with_indices: bool = True,
+    ):
+        """A ready-to-serve :class:`~repro.query.planner.CubePlanner`.
+
+        One call wires everything querying needs over the opened bundle:
+        the fact cache, inverted indices over the fact table's dimension
+        columns (skipped for DR cubes, whose NTs carry no row-ids to
+        pre-filter), and a byte-budgeted
+        :class:`~repro.query.cache.ResultCache`.  The serving layer
+        builds exactly one of these and shares it across all request
+        threads.
+        """
+        from repro.query.cache import ResultCache
+        from repro.query.planner import CubePlanner, build_indices
+
+        indices = None
+        if with_indices and not self.storage.dr_mode:
+            fact = self.catalog.open(self.fact_relation).load()
+            indices = build_indices(self.schema, fact.rows)
+        return CubePlanner(
+            self.storage,
+            self.fact_cache(fraction=fraction, seed=seed),
+            indices=indices,
+            results=ResultCache(
+                max_entries=result_cache_entries,
+                max_bytes=result_cache_bytes,
+            ),
+        )
+
     @property
     def fact_row_count(self) -> int:
         return len(self.catalog.open(self.fact_relation))

@@ -9,6 +9,7 @@
     python -m repro query --cube cube_dir --group-by Region.country \
         --where Region.country=Greece,France --limit 20
     python -m repro ingest --cube cube_dir --csv new_rows.csv --batch 256
+    python -m repro serve --cube cube_dir --port 8787
 
 The spec file describes how raw CSV columns map to dimensions and
 measures::
@@ -33,6 +34,12 @@ measure values, in schema order.  Rows are appended in ``--batch``-sized
 durable records, applied exactly once, and committed as a new cube
 generation that later ``query``/``describe`` calls read automatically.
 Re-running after a crash resumes from the last committed watermark.
+
+``serve`` starts the slicer HTTP server (docs/serving.md) over one
+published bundle: the cube loads once, every request thread shares the
+node matrix caches, the fact cache and a byte-budgeted result cache, and
+node/slice/rollup/iceberg answers come back as canonical JSON that is
+byte-identical to the equivalent library call.
 """
 
 from __future__ import annotations
@@ -337,6 +344,36 @@ def cmd_ingest(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.server import SlicerApp, SlicerServer
+
+    with open_bundle(args.cube) as bundle:
+        app = SlicerApp(
+            bundle,
+            result_cache_bytes=args.cache_bytes if args.cache_bytes > 0 else None,
+            result_cache_entries=args.cache_entries,
+            fact_cache_fraction=args.cache,
+            with_indices=not args.no_indices,
+        )
+        server = SlicerServer(app, host=args.host, port=args.port, quiet=False)
+        print(
+            f"serving {bundle.extra.get('variant', '?')} cube "
+            f"{bundle.root} on http://{server.host}:{server.port}"
+        )
+        print(
+            "  endpoints: /cube /nodes /node/<id> "
+            "/slice/<id>?where=<dim>.<level>:<m1>|<m2> "
+            "/rollup/<id> /iceberg/<id>?min=<k> /stats"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+    return 0
+
+
 def cmd_verify_cube(args) -> int:
     """Replay a durable build's checksums and row counts; exit 0 iff sound."""
     catalog_root = Path(args.catalog)
@@ -425,6 +462,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="drift ratio that triggers a compacting rebuild (0 disables)",
     )
     ingest.set_defaults(handler=cmd_ingest)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve cube answers over HTTP (the slicer)",
+    )
+    serve.add_argument("--cube", required=True, help="bundle directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port (0 picks an ephemeral one)")
+    serve.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024,
+        help="result-cache byte budget (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=4096,
+        help="result-cache entry cap",
+    )
+    serve.add_argument("--cache", type=float, default=1.0,
+                       help="fact cache fraction in [0, 1]")
+    serve.add_argument(
+        "--no-indices", action="store_true",
+        help="skip building inverted indices (slices post-filter)",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     verify = commands.add_parser(
         "verify-cube",

@@ -19,10 +19,12 @@ directory and soundly degraded (single-module graph) under
   chain (``cubelint --explain``).
 * **R12** — parallel-safety audit: ``global`` rebinds anywhere, and
   unsynchronized mutation of module-level mutable state by any function
-  reachable from the build-task entry points (``execute_task`` — the
-  interpreter both executors share — ``run_partition_pair``, and the
-  worker-process loop ``_worker_main``).  Mutation under a module-level
-  ``threading.Lock`` is the sanctioned idiom.
+  reachable from the parallel entry points: the build-task interpreters
+  (``execute_task`` — shared by both executors — ``run_partition_pair``,
+  the worker-process loop ``_worker_main``) and the serving layer's
+  per-request entry ``dispatch_request``, which every HTTP request
+  thread runs concurrently over shared caches.  Mutation under a
+  module-level ``threading.Lock`` is the sanctioned idiom.
 * **R13** — fault-site coverage: every durable-primitive call reachable
   from the build entry points must execute under at least one registered
   ``FaultInjector`` site (a ``maybe_fire``/``fire`` call in the function
@@ -59,16 +61,20 @@ DURABLE_PRIMITIVES = frozenset(
 #: argument that carries the site string.
 _FIRE_CALLS = {"maybe_fire": 1, "fire": 0, "_fire_retrying": 0}
 
-#: Build entry points whose transitive callees R12/R13 audit.
+#: Parallel entry points whose transitive callees R12/R13 audit.
 #: ``execute_task`` is the shared task interpreter both build executors
 #: run (the sequential one inline, ``_worker_main`` in spawned worker
 #: processes); ``process_partition`` survives as a suffix for fixture
-#: compatibility and for downstream code keeping the historical name.
+#: compatibility and for downstream code keeping the historical name;
+#: ``dispatch_request`` is the slicer server's per-request entry — many
+#: HTTP threads run it concurrently over one shared planner, so every
+#: module-state mutation it can reach needs a lock.
 R12_ENTRY_SUFFIXES = (
     "process_partition",
     "run_partition_pair",
     "execute_task",
     "_worker_main",
+    "dispatch_request",
 )
 R13_ENTRY_SUFFIXES = R12_ENTRY_SUFFIXES + (
     "DurableCubeBuild.build",

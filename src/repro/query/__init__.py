@@ -17,8 +17,10 @@ from repro.query.answer import (
     set_batch_execution,
 )
 from repro.query.workload import (
+    WorkloadOp,
     all_node_queries,
     bucket_queries_by_result_size,
+    mixed_workload,
     random_node_queries,
     random_rollup_queries,
 )
@@ -54,7 +56,9 @@ __all__ = [
     "QueryRequest",
     "QueryStats",
     "ResultCache",
+    "WorkloadOp",
     "all_node_queries",
+    "mixed_workload",
     "answer_pairs",
     "answer_schema",
     "batch_execution_enabled",

@@ -14,7 +14,13 @@ table that is a single fancy-index gather.
 :class:`ResultCache` sits one level up: whole materialized node answers,
 stored as :class:`~repro.query.column_answer.ColumnAnswer` values keyed
 by ``(node, predicate)``, so repeated group-by requests skip answering
-entirely — no tuple re-encoding on either the put or the get side.
+entirely — no tuple re-encoding on either the put or the get side.  It
+is sized for real serving traffic: entries account their matrix bytes
+against an optional ``max_bytes`` budget, recency is tracked LRU (a hit
+refreshes the entry), answers larger than the whole budget are rejected
+at admission instead of flushing everything else, and every operation
+holds an internal lock so the cache can be shared across the serving
+layer's request threads.
 
 The disk-backed source is typed as the structural
 :class:`~repro.relational.batch.RowSource` protocol — the query layer
@@ -24,6 +30,7 @@ never touches heap-file internals (cubelint R1).
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -42,10 +49,13 @@ if TYPE_CHECKING:
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    #: Admissions refused because the entry alone exceeds the byte budget.
+    rejected: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.rejected = 0
 
 
 @dataclass
@@ -148,6 +158,10 @@ class FactCache:
         return ColumnBatch.from_rows(self.schema.fact_schema, rows)
 
 
+#: A result-cache key: the node id plus the request's member predicates.
+ResultKey = tuple[int, "tuple[DimensionSlice, ...]"]
+
+
 @dataclass
 class ResultCache:
     """Materialized node answers, cached as :class:`ColumnAnswer` values.
@@ -156,41 +170,86 @@ class ResultCache:
     predicates.  Each entry holds the answer's aligned dims/aggregates
     matrices directly; a columnar producer pays zero encode cost and a
     columnar consumer zero decode cost, while the legacy pair shape
-    bridges through :meth:`ColumnAnswer.from_pairs` on put.  Entries
-    evict FIFO beyond ``max_entries``.
+    bridges through :meth:`ColumnAnswer.from_pairs` on put.
+
+    Eviction is LRU over both limits: beyond ``max_entries`` entries, or
+    — when ``max_bytes`` is set — beyond that many matrix bytes
+    (:meth:`entry_bytes` per entry), least-recently-used entries drop
+    first and a :meth:`get` hit refreshes recency.  An answer larger
+    than the whole byte budget is *rejected at admission* (counted in
+    ``stats.rejected``) rather than evicting every resident entry for a
+    single oversized tenant.  All operations hold an internal lock, so
+    one instance can be shared by many serving threads.
     """
 
     max_entries: int = 128
+    max_bytes: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
-    _entries: dict[
-        tuple[int, tuple[DimensionSlice, ...]], ColumnAnswer
-    ] = field(default_factory=dict, repr=False)
+    _entries: dict[ResultKey, ColumnAnswer] = field(
+        default_factory=dict, repr=False
+    )
+    _bytes: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    @staticmethod
+    def entry_bytes(answer: ColumnAnswer) -> int:
+        """The bytes an answer's matrices occupy (its budget charge)."""
+        return int(answer.dims.nbytes) + int(answer.aggregates.nbytes)
 
     def get(
         self, node_id: int, slices: tuple[DimensionSlice, ...] = ()
     ) -> ColumnAnswer | None:
-        entry = self._entries.get((node_id, slices))
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return entry
+        key = (node_id, slices)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            # Re-insert at the tail: dict order is the LRU order.
+            self._entries[key] = entry
+            self.stats.hits += 1
+            return entry
 
     def put(
         self,
         node_id: int,
         slices: tuple[DimensionSlice, ...],
         answer: ColumnAnswer | Pairs,
-    ) -> None:
-        key = (node_id, slices)
-        while len(self._entries) >= self.max_entries and key not in self._entries:
-            self._entries.pop(next(iter(self._entries)))
+    ) -> bool:
+        """Admit one answer; returns whether it is now resident."""
         if not isinstance(answer, ColumnAnswer):
             answer = ColumnAnswer.from_pairs(answer)
-        self._entries[key] = answer
+        size = self.entry_bytes(answer)
+        key = (node_id, slices)
+        with self._lock:
+            if self.max_bytes is not None and size > self.max_bytes:
+                self.stats.rejected += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= self.entry_bytes(old)
+            self._entries[key] = answer
+            self._bytes += size
+            self._evict_over_limits(newest=key)
+            return key in self._entries
+
+    def _evict_over_limits(self, newest: ResultKey) -> None:
+        """Drop LRU entries until both limits hold (lock held)."""
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None and self._bytes > self.max_bytes
+        ):
+            victim = next(iter(self._entries))
+            if victim == newest and len(self._entries) == 1:
+                break  # the admission check bounds the newest entry
+            dropped = self._entries.pop(victim)
+            self._bytes -= self.entry_bytes(dropped)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def invalidate(self, stale) -> int:
         """Drop every entry for which ``stale(node_id, slices)`` is true.
@@ -200,12 +259,20 @@ class ResultCache:
         entries the delta provably cannot have changed stay resident.
         Returns the number of entries dropped.
         """
-        doomed = [
-            key for key in self._entries if stale(key[0], key[1])
-        ]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key for key in self._entries if stale(key[0], key[1])
+            ]
+            for key in doomed:
+                self._bytes -= self.entry_bytes(self._entries.pop(key))
+            return len(doomed)
+
+    @property
+    def total_bytes(self) -> int:
+        """Current byte footprint of every resident answer."""
+        with self._lock:
+            return self._bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

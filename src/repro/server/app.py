@@ -1,0 +1,339 @@
+"""The slicer WSGI application: one immutable cube, many readers.
+
+:class:`SlicerApp` is a plain WSGI callable (usable under any WSGI
+container, threaded or not) serving one published cube bundle.  The
+bundle loads **once**: every request thread shares the same
+:class:`~repro.core.storage.CubeStorage` (whose per-node ``NodeStore``
+matrix caches warm lazily and are then reused by all threads), the same
+fully-resident :class:`~repro.query.cache.FactCache`, the same inverted
+indices, and one bytes-budgeted
+:class:`~repro.query.cache.ResultCache` — the cube is read-mostly, so
+the serving path scales with cores instead of re-loading per caller.
+
+Endpoints (all ``GET``, all canonical JSON — see
+:mod:`repro.server.encoding`):
+
+======================  ====================================================
+``/cube``               schema metadata: dimensions, levels, aggregates
+``/nodes?limit=N``      lattice nodes with ids and labels
+``/node/<id>``          one node answer (planner-routed: direct, or
+                        roll-up over a flat cube)
+``/slice/<id>?where=…`` node answer under member predicates;
+                        ``where=<dim>.<level>:<m1>|<m2>…``, repeatable
+``/rollup/<id>``        explicit on-the-fly roll-up from the base node
+``/iceberg/<id>?min=k`` count-iceberg answer at ``min_count = k``
+``/stats``              request counters and cache occupancy/hit rates
+======================  ====================================================
+
+Request handling funnels through :meth:`SlicerApp.dispatch_request`,
+which the R12 parallel-safety lint rule audits exactly like the build
+workers' entry points: everything reachable from it may only mutate
+module state under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+from urllib.parse import parse_qs
+
+from repro.bundle import CubeBundle
+from repro.lattice.node import CubeNode
+from repro.query.iceberg import iceberg_over_cure
+from repro.query.planner import CubePlanner, QueryRequest
+from repro.query.rollup import base_node_of, rollup_base_answer
+from repro.query.slice import DimensionSlice
+from repro.server.encoding import canonical_json, encode_answer
+
+#: Default result-cache budget: enough for thousands of small-node
+#: answers while bounding a worst-case burst of huge ones.
+DEFAULT_RESULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+def canonical_slices(
+    slices: Iterable[DimensionSlice],
+) -> tuple[DimensionSlice, ...]:
+    """One deterministic order for a request's predicates.
+
+    The result cache keys on the slice tuple, so ``?where=B…&where=A…``
+    must hit the entry ``?where=A…&where=B…`` created.
+    """
+    return tuple(
+        sorted(
+            slices,
+            key=lambda s: (s.dim, s.level, tuple(sorted(s.members))),
+        )
+    )
+
+
+def slice_params(slices: tuple[DimensionSlice, ...]) -> list[dict[str, Any]]:
+    """The predicates as deterministic JSON-friendly values."""
+    return [
+        {
+            "dim": item.dim,
+            "level": item.level,
+            "members": sorted(item.members),
+        }
+        for item in slices
+    ]
+
+
+class BadRequest(Exception):
+    """A client error: malformed path, unknown member, invalid slice."""
+
+
+class SlicerApp:
+    """WSGI application serving one immutable published cube."""
+
+    def __init__(
+        self,
+        bundle: CubeBundle,
+        result_cache_bytes: int | None = DEFAULT_RESULT_CACHE_BYTES,
+        result_cache_entries: int = 4096,
+        fact_cache_fraction: float = 1.0,
+        with_indices: bool = True,
+    ) -> None:
+        self.bundle = bundle
+        self.schema = bundle.schema
+        self.planner: CubePlanner = bundle.planner(
+            fraction=fact_cache_fraction,
+            result_cache_bytes=result_cache_bytes,
+            result_cache_entries=result_cache_entries,
+            with_indices=with_indices,
+        )
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+
+    # -- WSGI ---------------------------------------------------------------
+
+    def __call__(
+        self,
+        environ: dict[str, Any],
+        start_response: Callable[..., Any],
+    ) -> list[bytes]:
+        if environ.get("REQUEST_METHOD", "GET") != "GET":
+            body = canonical_json({"error": "only GET is supported"})
+            start_response("405 Method Not Allowed", self._headers(body))
+            return [body]
+        status, body = self.dispatch_request(
+            environ.get("PATH_INFO", "/"),
+            parse_qs(environ.get("QUERY_STRING", "")),
+        )
+        start_response(status, self._headers(body))
+        return [body]
+
+    @staticmethod
+    def _headers(body: bytes) -> list[tuple[str, str]]:
+        return [
+            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Length", str(len(body))),
+        ]
+
+    # -- routing ------------------------------------------------------------
+
+    def dispatch_request(
+        self, path: str, params: dict[str, list[str]]
+    ) -> tuple[str, bytes]:
+        """Route one request; returns ``(status line, body bytes)``.
+
+        This is the audited serving entry point: every answer a request
+        thread can compute flows through here, over caches shared with
+        every other request thread.
+        """
+        with self._counter_lock:
+            self._requests += 1
+        try:
+            head, _, tail = path.strip("/").partition("/")
+            if head in ("", "cube"):
+                return "200 OK", self._cube_meta()
+            if head == "nodes":
+                return "200 OK", self._nodes(params)
+            if head == "stats":
+                return "200 OK", self._stats()
+            if head == "node":
+                node = self._parse_node(tail)
+                if "where" in params:
+                    raise BadRequest(
+                        "predicates belong on /slice/<id>?where=…"
+                    )
+                answer = self.planner.answer(QueryRequest.of(node))
+                return "200 OK", encode_answer(
+                    self.schema, node, answer, kind="node"
+                )
+            if head == "slice":
+                node = self._parse_node(tail)
+                slices = canonical_slices(self._parse_where(params))
+                if not slices:
+                    raise BadRequest(
+                        "at least one where=<dim>.<level>:<m1>|<m2> "
+                        "predicate is required"
+                    )
+                answer = self.planner.answer(QueryRequest(node, slices))
+                return "200 OK", encode_answer(
+                    self.schema,
+                    node,
+                    answer,
+                    kind="slice",
+                    params={"where": slice_params(slices)},
+                )
+            if head == "rollup":
+                node = self._parse_node(tail)
+                answer = self._rollup(node)
+                return "200 OK", encode_answer(
+                    self.schema, node, answer, kind="rollup"
+                )
+            if head == "iceberg":
+                node = self._parse_node(tail)
+                min_count = self._parse_int(
+                    params.get("min", ["2"])[0], "min"
+                )
+                answer = iceberg_over_cure(
+                    self.planner.storage,
+                    self.planner.cache,
+                    node,
+                    min_count,
+                )
+                return "200 OK", encode_answer(
+                    self.schema,
+                    node,
+                    answer,
+                    kind="iceberg",
+                    params={"min_count": min_count},
+                )
+            return self._error(
+                "404 Not Found", f"unknown endpoint {path!r}"
+            )
+        except BadRequest as exc:
+            return self._error("400 Bad Request", str(exc))
+        except ValueError as exc:
+            # Invalid slice levels, missing COUNT aggregate, and friends.
+            return self._error("400 Bad Request", str(exc))
+
+    # -- endpoint bodies ----------------------------------------------------
+
+    def _rollup(self, node: CubeNode):
+        base = base_node_of(self.schema, node)
+        base_answer = self.planner.answer(QueryRequest.of(base))
+        return rollup_base_answer(self.schema, base_answer, node)
+
+    def _cube_meta(self) -> bytes:
+        schema = self.schema
+        return canonical_json(
+            {
+                "aggregates": [spec.name for spec in schema.aggregates],
+                "dimensions": [
+                    {
+                        "name": dimension.name,
+                        "levels": [
+                            {
+                                "name": level.name,
+                                "cardinality": level.cardinality,
+                            }
+                            for level in dimension.levels
+                        ],
+                    }
+                    for dimension in schema.dimensions
+                ],
+                "fact_rows": self.planner.cache.row_count,
+                "n_nodes": schema.enumerator.n_nodes,
+                "variant": self.bundle.extra.get("variant"),
+            }
+        )
+
+    def _nodes(self, params: dict[str, list[str]]) -> bytes:
+        limit = self._parse_int(params.get("limit", ["0"])[0], "limit")
+        schema = self.schema
+        nodes = []
+        for node in schema.lattice.nodes():
+            nodes.append(
+                {
+                    "id": schema.node_id(node),
+                    "levels": list(node.levels),
+                    "label": node.label(schema.dimensions),
+                }
+            )
+            if limit and len(nodes) >= limit:
+                break
+        return canonical_json(
+            {"n_nodes": schema.enumerator.n_nodes, "nodes": nodes}
+        )
+
+    def _stats(self) -> bytes:
+        planner = self.planner
+        results = planner.results
+        with self._counter_lock:
+            requests, errors = self._requests, self._errors
+        payload: dict[str, Any] = {
+            "requests": requests,
+            "errors": errors,
+            "fact_cache": {
+                "hits": planner.cache.stats.hits,
+                "misses": planner.cache.stats.misses,
+            },
+        }
+        if results is not None:
+            payload["result_cache"] = {
+                "entries": len(results),
+                "bytes": results.total_bytes,
+                "max_entries": results.max_entries,
+                "max_bytes": results.max_bytes,
+                "hits": results.stats.hits,
+                "misses": results.stats.misses,
+                "rejected": results.stats.rejected,
+            }
+        return canonical_json(payload)
+
+    # -- parsing ------------------------------------------------------------
+
+    def _parse_node(self, tail: str) -> CubeNode:
+        node_id = self._parse_int(tail, "node id")
+        if not 0 <= node_id < self.schema.enumerator.n_nodes:
+            raise BadRequest(
+                f"node id {node_id} out of range "
+                f"[0, {self.schema.enumerator.n_nodes})"
+            )
+        return self.schema.decode_node(node_id)
+
+    @staticmethod
+    def _parse_int(text: str, what: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise BadRequest(f"{what} must be an integer, got {text!r}") from None
+
+    def _parse_where(
+        self, params: dict[str, list[str]]
+    ) -> list[DimensionSlice]:
+        slices = []
+        for clause in params.get("where", []):
+            target, sep, members_text = clause.partition(":")
+            dim_text, dot, level_text = target.partition(".")
+            if not sep or not dot or not members_text:
+                raise BadRequest(
+                    f"bad where clause {clause!r} "
+                    "(expected <dim>.<level>:<m1>|<m2>)"
+                )
+            dim = self._parse_int(dim_text, "where dimension")
+            level = self._parse_int(level_text, "where level")
+            if not 0 <= dim < self.schema.n_dimensions:
+                raise BadRequest(f"dimension {dim} out of range")
+            dimension = self.schema.dimensions[dim]
+            # Real levels only: the implicit ALL level has one member,
+            # so slicing on it is meaningless (and unindexed).
+            if not 0 <= level < dimension.n_levels:
+                raise BadRequest(
+                    f"level {level} out of range for {dimension.name!r} "
+                    f"(sliceable levels: 0..{dimension.n_levels - 1})"
+                )
+            members = frozenset(
+                self._parse_int(member, "where member")
+                for member in members_text.split("|")
+            )
+            slices.append(DimensionSlice.of(dim, level, members))
+        return slices
+
+    def _error(self, status: str, message: str) -> tuple[str, bytes]:
+        with self._counter_lock:
+            self._errors += 1
+        return status, canonical_json({"error": message})

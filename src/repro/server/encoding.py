@@ -1,0 +1,110 @@
+"""Canonical JSON encoding of cube answers.
+
+The serving layer's correctness contract is *byte identity*: the body an
+HTTP endpoint returns must equal, byte for byte, what the in-process
+library call produces for the same request.  That only works if both
+sides share one canonical encoder, so this module is it — the WSGI app
+calls :func:`encode_answer` to render a response and the differential
+harness calls the same function on the direct
+:class:`~repro.query.column_answer.ColumnAnswer` (or legacy pair-list)
+result.
+
+Canonical means deterministic everywhere a choice exists:
+
+* rows are emitted in :meth:`ColumnAnswer.normalized` order, so the
+  batch and row execution paths — which produce rows in different
+  orders — encode identically;
+* keys are sorted and separators compact, so two ``dict`` layouts cannot
+  differ;
+* a legacy pair-list answer bridges through
+  :meth:`ColumnAnswer.from_pairs` with the schema's explicit widths, so
+  an empty answer has the same shape either way.
+
+:func:`decode_answer` inverts the encoding back into a
+:class:`ColumnAnswer` plus its metadata — what an HTTP client (and the
+harness's equality check) consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.model import CubeSchema
+from repro.lattice.node import CubeNode
+from repro.query.answer import AnyAnswer
+from repro.query.column_answer import ColumnAnswer
+
+
+def as_column_answer(
+    schema: CubeSchema, node: CubeNode, answer: AnyAnswer
+) -> ColumnAnswer:
+    """Bridge any answer shape to columnar with the schema's widths."""
+    if isinstance(answer, ColumnAnswer):
+        return answer
+    return ColumnAnswer.from_pairs(
+        answer,
+        arity=len(node.grouping_dims(schema.dimensions)),
+        n_aggregates=schema.n_aggregates,
+    )
+
+
+def encode_answer(
+    schema: CubeSchema,
+    node: CubeNode,
+    answer: AnyAnswer,
+    kind: str = "node",
+    params: dict[str, Any] | None = None,
+) -> bytes:
+    """One answer as canonical JSON bytes.
+
+    ``params`` carries request parameters that shaped the answer (slice
+    predicates, iceberg thresholds) so a response is self-describing;
+    the caller must pass JSON-serializable values with deterministic
+    ordering (lists, not sets).
+    """
+    columnar = as_column_answer(schema, node, answer).normalized()
+    grouping = node.grouping_dims(schema.dimensions)
+    payload: dict[str, Any] = {
+        "kind": kind,
+        "node": schema.node_id(node),
+        "levels": list(node.levels),
+        "groups": [
+            f"{schema.dimensions[d].name}."
+            f"{schema.dimensions[d].level(node.levels[d]).name}"
+            for d in grouping
+        ],
+        "aggregates": [spec.name for spec in schema.aggregates],
+        "count": len(columnar),
+        "rows": [
+            dims + aggregates
+            for dims, aggregates in zip(
+                columnar.dims.tolist(), columnar.aggregates.tolist()
+            )
+        ],
+    }
+    if params:
+        payload["params"] = params
+    return canonical_json(payload)
+
+
+def canonical_json(payload: dict[str, Any]) -> bytes:
+    """Compact, key-sorted JSON — the only JSON this server emits."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_answer(body: bytes) -> tuple[dict[str, Any], ColumnAnswer]:
+    """Invert :func:`encode_answer`: metadata plus the columnar answer."""
+    payload = json.loads(body.decode("utf-8"))
+    arity = len(payload["groups"])
+    n_aggregates = len(payload["aggregates"])
+    pairs = [
+        (tuple(row[:arity]), tuple(row[arity:]))
+        for row in payload["rows"]
+    ]
+    answer = ColumnAnswer.from_pairs(
+        pairs, arity=arity, n_aggregates=n_aggregates
+    )
+    return payload, answer

@@ -1,0 +1,94 @@
+"""A thin threaded HTTP front for :class:`~repro.server.app.SlicerApp`.
+
+Pure standard library: ``wsgiref``'s WSGI plumbing on a
+``ThreadingMixIn`` server, so every request runs on its own thread over
+the one shared :class:`SlicerApp` — which is exactly the concurrency
+model the app's shared caches are built (and property-tested) for.
+
+:class:`SlicerServer` owns the socket.  ``port=0`` binds an ephemeral
+port (the resolved one is on ``.port``), ``start()`` serves from a
+daemon background thread (tests, benchmarks), ``serve_forever()`` serves
+in the calling thread (the CLI).
+"""
+
+from __future__ import annotations
+
+import threading
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import (
+    WSGIRequestHandler,
+    WSGIServer,
+    make_server,
+)
+
+from repro.server.app import SlicerApp
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request; daemon threads so shutdown never hangs."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """The default handler logs every request to stderr; tests and
+    benchmarks drown in it."""
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+
+class SlicerServer:
+    """A running (or startable) HTTP server around one ``SlicerApp``."""
+
+    def __init__(
+        self,
+        app: SlicerApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.app = app
+        self._httpd = make_server(
+            host,
+            port,
+            app,
+            server_class=ThreadingWSGIServer,
+            handler_class=_QuietHandler if quiet else WSGIRequestHandler,
+        )
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "SlicerServer":
+        """Serve from a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="slicer-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "SlicerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

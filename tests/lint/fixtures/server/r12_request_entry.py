@@ -1,0 +1,14 @@
+"""R12: an unsynchronized response memo reachable from the serving entry."""
+
+from __future__ import annotations
+
+_RESPONSE_MEMO: dict[str, bytes] = {}
+
+
+def _remember(path: str, body: bytes) -> bytes:
+    _RESPONSE_MEMO[path] = body
+    return body
+
+
+def dispatch_request(path: str) -> bytes:
+    return _remember(path, path.encode())

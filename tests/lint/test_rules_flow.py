@@ -45,6 +45,17 @@ def test_r12_lock_guard_is_sanctioned() -> None:
     assert report.violations == []
 
 
+def test_r12_audits_the_serving_entry_point() -> None:
+    # The slicer's dispatch_request is an R12 entry like the build-task
+    # interpreters: an unlocked module-level memo it can reach is a
+    # finding, with the trace rooted at the request entry.
+    report = analyze_file(FIXTURES / "server" / "r12_request_entry.py")
+    (mutate,) = [v for v in report.violations if "mutates" in v.message]
+    assert mutate.rule_id == "R12"
+    assert mutate.trace[0].startswith("entry dispatch_request")
+    assert any("_remember" in step for step in mutate.trace)
+
+
 def test_r13_unregistered_family_and_uncovered_primitive() -> None:
     report = analyze_file(FIXTURES / "relational" / "r13_fault_sites.py")
     messages = [v.message for v in report.violations]

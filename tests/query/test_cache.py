@@ -92,3 +92,99 @@ def test_row_count(setup, flat_schema, figure9_table):
     _schema, table, heap = setup
     assert FactCache(flat_schema, heap=heap).row_count == len(table)
     assert FactCache(flat_schema, table=figure9_table).row_count == len(table)
+
+
+# -- the byte-budgeted result cache ------------------------------------------
+
+
+def _answer_of(rows: int, node: int = 0):
+    from repro.query.column_answer import ColumnAnswer
+
+    return ColumnAnswer.from_pairs(
+        [((node, i), (i, 1)) for i in range(rows)], arity=2, n_aggregates=2
+    )
+
+
+def result_cache(**kwargs):
+    from repro.query.cache import ResultCache
+
+    return ResultCache(**kwargs)
+
+
+def test_entry_bytes_counts_both_matrices():
+    from repro.query.cache import ResultCache
+
+    answer = _answer_of(10)
+    assert ResultCache.entry_bytes(answer) == (
+        answer.dims.nbytes + answer.aggregates.nbytes
+    )
+
+
+def test_result_cache_rejects_oversized_answers():
+    """The satellite fix: an answer larger than the whole budget must be
+    refused at admission instead of flushing every resident entry."""
+    small = _answer_of(4)
+    budget = result_cache(max_bytes=result_cache().entry_bytes(small) * 3)
+    assert budget.put(1, (), small)
+    assert budget.put(2, (), _answer_of(2))
+    resident = len(budget)
+    big = _answer_of(1000)
+    assert not budget.put(3, (), big)  # rejected, not admitted
+    assert budget.stats.rejected == 1
+    assert len(budget) == resident  # nobody was evicted for it
+    assert budget.get(1, ()) is not None
+    assert budget.get(2, ()) is not None
+    assert budget.get(3, ()) is None
+
+
+def test_result_cache_byte_budget_evicts_lru():
+    one = _answer_of(8)
+    size = result_cache().entry_bytes(one)
+    cache = result_cache(max_bytes=size * 2 + size // 2)
+    cache.put(1, (), _answer_of(8))
+    cache.put(2, (), _answer_of(8))
+    assert len(cache) == 2
+    cache.put(3, (), _answer_of(8))  # over budget: LRU (node 1) drops
+    assert cache.get(1, ()) is None
+    assert cache.get(2, ()) is not None
+    assert cache.get(3, ()) is not None
+    assert cache.total_bytes <= size * 2 + size // 2
+
+
+def test_result_cache_get_refreshes_recency():
+    one = _answer_of(8)
+    size = result_cache().entry_bytes(one)
+    cache = result_cache(max_bytes=size * 2 + size // 2)
+    cache.put(1, (), _answer_of(8))
+    cache.put(2, (), _answer_of(8))
+    assert cache.get(1, ()) is not None  # touch: 2 is now the LRU
+    cache.put(3, (), _answer_of(8))
+    assert cache.get(2, ()) is None
+    assert cache.get(1, ()) is not None
+
+
+def test_result_cache_replacement_updates_byte_accounting():
+    cache = result_cache(max_bytes=1 << 20)
+    cache.put(1, (), _answer_of(100))
+    big = cache.total_bytes
+    cache.put(1, (), _answer_of(2))
+    assert len(cache) == 1
+    assert cache.total_bytes < big
+    assert cache.total_bytes == cache.entry_bytes(_answer_of(2))
+
+
+def test_result_cache_clear_and_invalidate_reset_bytes():
+    cache = result_cache(max_bytes=1 << 20)
+    cache.put(1, (), _answer_of(10))
+    cache.put(2, (), _answer_of(10))
+    assert cache.invalidate(lambda node_id, slices: node_id == 1) == 1
+    assert cache.total_bytes == cache.entry_bytes(_answer_of(10))
+    cache.clear()
+    assert cache.total_bytes == 0 and len(cache) == 0
+
+
+def test_result_cache_unbounded_bytes_by_default():
+    cache = result_cache()
+    assert cache.max_bytes is None
+    assert cache.put(1, (), _answer_of(100_000))
+    assert cache.stats.rejected == 0

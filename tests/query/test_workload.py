@@ -57,3 +57,87 @@ def test_bucketing_validates(paper_schema):
         bucket_queries_by_result_size(queries, [1], 2)
     with pytest.raises(ValueError, match="at least one"):
         bucket_queries_by_result_size(queries, [1, 2, 3], 0)
+
+
+# -- the serving-layer mixed workload ----------------------------------------
+
+
+def test_mixed_workload_deterministic(paper_schema):
+    from repro.query.workload import mixed_workload
+
+    a = mixed_workload(paper_schema, 100, seed=7)
+    assert a == mixed_workload(paper_schema, 100, seed=7)
+    assert a != mixed_workload(paper_schema, 100, seed=8)
+
+
+def test_mixed_workload_respects_mix(paper_schema):
+    from collections import Counter
+
+    from repro.query.workload import mixed_workload
+
+    ops = mixed_workload(paper_schema, 600, seed=3)
+    kinds = Counter(op.kind for op in ops)
+    assert set(kinds) == {"node", "slice", "rollup", "iceberg"}
+    assert kinds["node"] > kinds["slice"] > kinds["iceberg"]
+
+
+def test_mixed_workload_zipf_popularity_is_skewed(paper_schema):
+    from collections import Counter
+
+    from repro.query.workload import mixed_workload
+
+    ops = mixed_workload(
+        paper_schema, 500, seed=5, mix=(("node", 1.0),), zipf_s=1.2
+    )
+    counts = Counter(paper_schema.node_id(op.node) for op in ops)
+    top = counts.most_common()
+    # The hottest node is hit far more often than the median one.
+    assert top[0][1] >= 5 * top[len(top) // 2][1]
+
+
+def test_mixed_workload_ops_are_answerable(paper_schema):
+    from repro.query.workload import mixed_workload
+
+    schema = paper_schema
+    total = schema.enumerator.n_nodes
+    for op in mixed_workload(schema, 300, seed=11):
+        assert 0 <= schema.node_id(op.node) < total
+        if op.kind == "slice":
+            assert op.slices
+            for item in op.slices:
+                # slicing a dimension requires it grouped in the node
+                assert op.node.levels[item.dim] == item.level
+                cardinality = schema.dimensions[item.dim].level(
+                    item.level
+                ).cardinality
+                assert all(0 <= m < cardinality for m in item.members)
+        elif op.kind == "rollup":
+            # every grouping level sits above base: a flat cube must
+            # re-aggregate on the fly
+            for d, level in enumerate(op.node.levels):
+                assert level >= 1
+        elif op.kind == "iceberg":
+            assert op.min_count >= 2
+        else:
+            assert op.kind == "node" and not op.slices
+
+
+def test_mixed_workload_renormalizes_unanswerable_kinds():
+    from repro import CubeSchema, make_aggregates
+    from repro.hierarchy.builders import linear_dimension
+    from repro.query.workload import mixed_workload
+
+    # No COUNT aggregate: iceberg ops must disappear, the rest scale up.
+    a = linear_dimension("A", [("A0", 6), ("A1", 3)])
+    schema = CubeSchema((a,), make_aggregates(("sum", 0)), n_measures=1)
+    ops = mixed_workload(schema, 200, seed=2)
+    assert ops and all(op.kind != "iceberg" for op in ops)
+
+
+def test_mixed_workload_empty_mix_raises(paper_schema):
+    import pytest as _pytest
+
+    from repro.query.workload import mixed_workload
+
+    with _pytest.raises(ValueError, match="no op kind"):
+        mixed_workload(paper_schema, 10, mix=(("node", 0.0),))

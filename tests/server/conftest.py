@@ -1,0 +1,84 @@
+"""Fixtures for the slicer serving layer: published bundles per variant.
+
+The differential harness asserts HTTP bodies are byte-identical to the
+library across the served CURE family, so the expensive part — building
+and publishing one cube per variant — happens once per session.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CubeSchema, Table, linear_dimension, make_aggregates
+from repro.bundle import open_bundle, save_bundle
+from repro.core.variants import VARIANTS
+
+#: The variants the serving layer is locked against.  DR cubes are
+#: exercised elsewhere; the slicer serves any bundle, but the paper's
+#: headline family is CURE, CURE+ and the flat-cube FCURE.
+SERVED_VARIANTS = ("CURE", "CURE+", "FCURE")
+
+
+def serving_schema() -> CubeSchema:
+    """The paper's running example, with COUNT so icebergs answer."""
+    a = linear_dimension("A", [("A0", 12), ("A1", 6), ("A2", 3)])
+    b = linear_dimension("B", [("B0", 8), ("B1", 4)])
+    c = linear_dimension("C", [("C0", 5)])
+    return CubeSchema(
+        (a, b, c), make_aggregates(("sum", 0), ("count", 0)), n_measures=1
+    )
+
+
+def serving_fact(schema: CubeSchema, n: int = 400, seed: int = 17) -> Table:
+    rng = random.Random(seed)
+    cardinalities = [
+        dimension.level(0).cardinality for dimension in schema.dimensions
+    ]
+    rows = [
+        tuple(rng.randrange(c) for c in cardinalities)
+        + (rng.randrange(1, 100),)
+        for _ in range(n)
+    ]
+    return Table(schema.fact_schema, rows)
+
+
+@pytest.fixture(scope="session")
+def served_bundles(tmp_path_factory):
+    """One opened bundle per served variant, built over the same facts."""
+    root = tmp_path_factory.mktemp("served-bundles")
+    schema = serving_schema()
+    fact = serving_fact(schema)
+    bundles = {}
+    for name in SERVED_VARIANTS:
+        result, _ = VARIANTS[name].build(schema, table=fact)
+        path = save_bundle(
+            root / name.replace("+", "_plus"),
+            schema,
+            fact,
+            result.storage,
+            extra={"variant": name},
+        )
+        bundles[name] = open_bundle(path)
+    yield bundles
+    for bundle in bundles.values():
+        bundle.close()
+
+
+def wsgi_get(app, path_qs: str, method: str = "GET"):
+    """Run one request through a WSGI app; returns ``(status, body)``."""
+    path, _, query = path_qs.partition("?")
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = headers
+
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+    }
+    body = b"".join(app(environ, start_response))
+    return captured["status"], body

@@ -1,0 +1,169 @@
+"""The HTTP-vs-library differential: every served byte must match.
+
+The slicer is locked to the query layer by construction: each HTTP body
+is compared against an in-process computation over a *fresh* planner
+(:func:`repro.server.replay.replay_op`), rendered through the same
+canonical encoder.  Routing, parameter parsing, planner strategy choice,
+shared-cache reuse and JSON rendering all have to agree, across CURE,
+CURE+ and FCURE, in batch and row execution modes, for these to pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.query.answer import set_batch_execution
+from repro.query.planner import QueryRequest
+from repro.query.workload import mixed_workload
+from repro.server.app import SlicerApp
+from repro.server.encoding import as_column_answer, decode_answer, encode_answer
+from repro.server.replay import execute_op, op_path, replay_op
+from tests.server.conftest import SERVED_VARIANTS, wsgi_get
+
+
+@pytest.fixture(scope="module")
+def apps(served_bundles):
+    return {
+        name: SlicerApp(bundle) for name, bundle in served_bundles.items()
+    }
+
+
+# -- byte identity -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", SERVED_VARIANTS)
+def test_every_node_answer_is_byte_identical(variant, apps):
+    app = apps[variant]
+    schema = app.schema
+    reference = app.bundle.planner()
+    for node in schema.lattice.nodes():
+        status, body = wsgi_get(app, f"/node/{schema.node_id(node)}")
+        assert status == "200 OK"
+        expected = encode_answer(
+            schema,
+            node,
+            reference.answer(QueryRequest.of(node)),
+            kind="node",
+        )
+        assert body == expected, node.label(schema.dimensions)
+
+
+@pytest.mark.parametrize("variant", SERVED_VARIANTS)
+def test_mixed_workload_differential(variant, apps):
+    app = apps[variant]
+    schema = app.schema
+    reference = app.bundle.planner()
+    for op in mixed_workload(schema, 80, seed=23):
+        status, body = wsgi_get(app, op_path(schema, op))
+        assert status == "200 OK", body
+        assert body == replay_op(reference, op), op
+
+
+def test_row_mode_library_agrees_with_server(apps):
+    # The server executes in (default) batch mode; a row-at-a-time
+    # library replay must still produce the same bytes.
+    app = apps["CURE"]
+    schema = app.schema
+    reference = app.bundle.planner(with_indices=False)
+    previous = set_batch_execution(False)
+    try:
+        for op in mixed_workload(schema, 30, seed=29):
+            _, body = wsgi_get(app, op_path(schema, op))
+            assert body == replay_op(reference, op), op
+    finally:
+        set_batch_execution(previous)
+
+
+def test_served_bodies_decode_to_the_answers(apps):
+    app = apps["CURE+"]
+    schema = app.schema
+    reference = app.bundle.planner()
+    for op in mixed_workload(schema, 20, seed=31):
+        _, body = wsgi_get(app, op_path(schema, op))
+        payload, answer = decode_answer(body)
+        expected = as_column_answer(
+            schema, op.node, execute_op(reference, op)
+        )
+        assert payload["kind"] == op.kind
+        assert answer == expected
+
+
+def test_where_clause_order_is_irrelevant(apps):
+    app = apps["CURE"]
+    first = wsgi_get(
+        app, "/slice/0?where=0.0:1|3&where=1.0:2"
+    )
+    second = wsgi_get(
+        app, "/slice/0?where=1.0:2&where=0.0:3|1"
+    )
+    assert first == second
+    results = app.planner.results
+    hits_before = results.stats.hits
+    wsgi_get(app, "/slice/0?where=1.0:2&where=0.0:1|3")
+    assert results.stats.hits == hits_before + 1
+
+
+# -- metadata endpoints ------------------------------------------------------
+
+
+def test_cube_metadata(apps):
+    app = apps["FCURE"]
+    status, body = wsgi_get(app, "/cube")
+    assert status == "200 OK"
+    meta = json.loads(body)
+    assert meta["variant"] == "FCURE"
+    assert meta["n_nodes"] == app.schema.enumerator.n_nodes
+    assert [d["name"] for d in meta["dimensions"]] == ["A", "B", "C"]
+    assert meta["fact_rows"] == app.bundle.fact_row_count
+    # the root path serves the same document
+    assert wsgi_get(app, "/")[1] == body
+
+
+def test_nodes_listing(apps):
+    app = apps["CURE"]
+    _, body = wsgi_get(app, "/nodes")
+    listing = json.loads(body)
+    assert len(listing["nodes"]) == listing["n_nodes"]
+    ids = [entry["id"] for entry in listing["nodes"]]
+    assert ids == sorted(set(ids))
+    _, limited = wsgi_get(app, "/nodes?limit=3")
+    assert len(json.loads(limited)["nodes"]) == 3
+
+
+def test_stats_expose_cache_counters(apps):
+    app = apps["CURE"]
+    wsgi_get(app, "/node/0")
+    wsgi_get(app, "/node/0")
+    _, body = wsgi_get(app, "/stats")
+    stats = json.loads(body)
+    assert stats["requests"] >= 3
+    assert stats["result_cache"]["hits"] >= 1
+    assert stats["result_cache"]["bytes"] <= stats["result_cache"]["max_bytes"]
+
+
+# -- error handling ----------------------------------------------------------
+
+
+def test_error_statuses(apps):
+    app = apps["CURE"]
+    cases = [
+        ("/nope", "404 Not Found"),
+        ("/node/xyz", "400 Bad Request"),
+        ("/node/99999", "400 Bad Request"),
+        ("/node/0?where=0.0:1", "400 Bad Request"),
+        ("/slice/0", "400 Bad Request"),
+        ("/slice/0?where=banana", "400 Bad Request"),
+        ("/slice/0?where=9.0:1", "400 Bad Request"),
+        ("/slice/0?where=2.1:0", "400 Bad Request"),
+        ("/iceberg/0?min=x", "400 Bad Request"),
+    ]
+    for path, expected in cases:
+        status, body = wsgi_get(app, path)
+        assert status == expected, path
+        assert "error" in json.loads(body)
+    status, _ = wsgi_get(app, "/node/0", method="POST")
+    assert status == "405 Method Not Allowed"
+    _, body = wsgi_get(app, "/stats")
+    assert json.loads(body)["errors"] >= len(cases)
