@@ -1,0 +1,196 @@
+"""Cold-start benchmark: time-to-first-answer, v1 heap load vs v2 map.
+
+One ~8k-row CURE+ cube (3 dimensions, hierarchical) is built once and
+published both ways into the same bundle directory.  Each arm then
+measures the full cold path — ``open_bundle`` → ``planner()`` → one node
+answer — over several repetitions:
+
+* **v1** opens with ``use_v2=False``: the fact heap file is decoded and
+  CSR indices are rebuilt before the first answer;
+* **v2** maps ``cube.v2``: matrices and indices are checksummed views,
+  nothing is unpacked up front.
+
+The answers themselves are digest-compared (they must match — the bench
+refuses to report a speedup over wrong bytes), and ``verify_v2`` supplies
+the on-disk byte comparison.  ``python benchmarks/bench_coldstart.py``
+regenerates ``BENCH_coldstart.json`` at the repo root; ``--check`` (and
+the pytest entry point) asserts the speedup/size floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import CubeSchema, Table, linear_dimension, make_aggregates
+from repro.bundle import open_bundle, save_bundle
+from repro.core.variants import VARIANTS
+from repro.query.planner import QueryRequest
+from repro.server.encoding import encode_answer
+from repro.storage2 import V2_FILE, publish_v2_bundle, verify_v2
+
+BASE_ROWS = 8_000
+SEED = 11
+VARIANT = "CURE+"
+REPEATS = 5
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_coldstart.json"
+
+
+def _schema() -> CubeSchema:
+    a = linear_dimension("A", [("A0", 60), ("A1", 12), ("A2", 3)])
+    b = linear_dimension("B", [("B0", 40), ("B1", 8)])
+    c = linear_dimension("C", [("C0", 25)])
+    return CubeSchema(
+        (a, b, c), make_aggregates(("sum", 0), ("count", 0)), n_measures=1
+    )
+
+
+def _fact(schema: CubeSchema) -> Table:
+    import random
+
+    rng = random.Random(SEED)
+    return Table(
+        schema.fact_schema,
+        [
+            (
+                rng.randrange(60),
+                rng.randrange(40),
+                rng.randrange(25),
+                rng.randrange(1000),
+            )
+            for _ in range(BASE_ROWS)
+        ],
+    )
+
+
+def _publish(root: Path) -> Path:
+    schema = _schema()
+    fact = _fact(schema)
+    result, _ = VARIANTS[VARIANT].build(schema, table=fact)
+    path = save_bundle(
+        root / "bundle", schema, fact, result.storage,
+        extra={"variant": VARIANT},
+    )
+    publish_v2_bundle(path)
+    return path
+
+
+def _first_answer(path: Path, use_v2: bool) -> tuple[float, bytes]:
+    """One full cold start: open → planner → first node answer, timed.
+
+    The first query is the ∅ (grand-total) node — the typical dashboard
+    landing query — so the measurement is dominated by what each format
+    must do *before* any answer: decode the fact heap and rebuild the
+    CSR indices (v1) versus map and checksum-on-demand (v2).
+    """
+    started = time.perf_counter()
+    with open_bundle(path, use_v2=use_v2) as bundle:
+        assert (bundle.v2 is not None) == use_v2
+        planner = bundle.planner()
+        node = bundle.schema.lattice.all_node
+        body = encode_answer(
+            bundle.schema,
+            node,
+            planner.answer(QueryRequest.of(node)),
+            kind="node",
+        )
+    return time.perf_counter() - started, body
+
+
+def bench_cold_start(path: Path) -> dict:
+    v1_times, v2_times = [], []
+    v1_body = v2_body = b""
+    for _ in range(REPEATS):
+        seconds, v1_body = _first_answer(path, use_v2=False)
+        v1_times.append(seconds)
+        seconds, v2_body = _first_answer(path, use_v2=True)
+        v2_times.append(seconds)
+    report = verify_v2(path / V2_FILE, bundle_root=path)
+    assert report.ok, report.describe()
+    v1_seconds, v2_seconds = min(v1_times), min(v2_times)
+    return {
+        "v1_first_answer_s": round(v1_seconds, 5),
+        "v2_first_answer_s": round(v2_seconds, 5),
+        "speedup": round(v1_seconds / v2_seconds, 2),
+        "v1_disk_bytes": report.v1_bytes,
+        "v2_disk_bytes": report.file_bytes,
+        "size_ratio": round(report.ratio, 4),
+        "answers_equal": v1_body == v2_body,
+    }
+
+
+def run() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench_coldstart.") as tmp:
+        path = _publish(Path(tmp))
+        cold = bench_cold_start(path)
+    return {
+        "base_rows": BASE_ROWS,
+        "variant": VARIANT,
+        "repeats": REPEATS,
+        "cold_start": cold,
+    }
+
+
+# Conservative floors for shared CI runners: locally the mapped open is
+# ~10× faster and the container ~0.73× the v1 footprint at this scale
+# (see BENCH_coldstart.json for the last recorded numbers).
+FLOORS = {
+    "speedup": 5.0,  # v2 time-to-first-answer at least 5× faster
+}
+CEILINGS = {
+    "size_ratio": 0.9,  # cube.v2 measurably smaller than the v1 files
+}
+
+
+def check_floors(results: dict) -> list[str]:
+    cold = results["cold_start"]
+    failing = []
+    if cold["speedup"] < FLOORS["speedup"]:
+        failing.append("speedup")
+    if cold["size_ratio"] > CEILINGS["size_ratio"]:
+        failing.append("size_ratio")
+    if not cold["answers_equal"]:
+        failing.append("answers_equal")
+    return failing
+
+
+def test_coldstart_floors():
+    """CI acceptance: mapped cold start ≥5× faster to first answer,
+    cube.v2 measurably smaller on disk, answers byte-identical."""
+    results = run()
+    assert not check_floors(results), results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cold-start time-to-first-answer benchmark, v1 vs v2."
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the floors hold",
+    )
+    args = parser.parse_args(argv)
+
+    results = run()
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    if args.check:
+        failing = check_floors(results)
+        for name in failing:
+            print(f"FAIL: {name} out of bounds", file=sys.stderr)
+        if failing:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.model import CubeSchema
 from repro.core.storage import CubeStorage
@@ -23,8 +24,11 @@ from repro.hierarchy.dimension import Dimension, Level
 from repro.query.cache import FactCache
 from repro.relational.aggregates import make_aggregates
 from repro.relational.catalog import Catalog
-from repro.relational.durable import atomic_write_text
+from repro.relational.durable import atomic_write_text, file_checksum
 from repro.relational.table import Table
+
+if TYPE_CHECKING:
+    from repro.storage2.mapped import MappedCube
 
 BUNDLE_META = "bundle.json"
 FACT_RELATION = "fact"
@@ -125,7 +129,14 @@ def save_bundle(
 
 @dataclass
 class CubeBundle:
-    """An opened bundle: schema, storage, and a fact cache factory."""
+    """An opened bundle: schema, storage, and a fact cache factory.
+
+    ``v2`` is set when the bundle was opened through a mapped
+    :mod:`repro.storage2` container: ``storage`` is then the mapped view
+    (no heap rows were unpacked), and the fact cache / planner wire over
+    the mapped fact columns and pre-built CSR indices instead of
+    re-reading and re-indexing the fact heap file.
+    """
 
     root: Path
     schema: CubeSchema
@@ -133,8 +144,17 @@ class CubeBundle:
     catalog: Catalog
     extra: dict
     fact_relation: str = FACT_RELATION
+    cube_prefix: str = CUBE_PREFIX
+    v2: "MappedCube | None" = None
 
     def fact_cache(self, fraction: float = 1.0, seed: int = 7) -> FactCache:
+        if self.v2 is not None:
+            return FactCache(
+                self.schema,
+                table=self.v2.fact,
+                fraction=fraction,
+                seed=seed,
+            )
         return FactCache(
             self.schema,
             heap=self.catalog.open(self.fact_relation),
@@ -165,8 +185,11 @@ class CubeBundle:
 
         indices = None
         if with_indices and not self.storage.dr_mode:
-            fact = self.catalog.open(self.fact_relation).load()
-            indices = build_indices(self.schema, fact.rows)
+            if self.v2 is not None:
+                indices = self.v2.indices
+            else:
+                fact = self.catalog.open(self.fact_relation).load()
+                indices = build_indices(self.schema, fact.rows)
         return CubePlanner(
             self.storage,
             self.fact_cache(fraction=fraction, seed=seed),
@@ -179,6 +202,8 @@ class CubeBundle:
 
     @property
     def fact_row_count(self) -> int:
+        if self.v2 is not None:
+            return len(self.v2.fact)
         return len(self.catalog.open(self.fact_relation))
 
     def close(self) -> None:
@@ -191,12 +216,28 @@ class CubeBundle:
         self.close()
 
 
-def open_bundle(directory: str | Path) -> CubeBundle:
+def open_bundle(directory: str | Path, use_v2: bool = True) -> CubeBundle:
     """Open a bundle previously written by :func:`save_bundle`.
 
     If the bundle has been streamed into (``python -m repro ingest``),
     the committed ingest generation supersedes the originally built cube:
     its manifest names the cube prefix and fact relation to read.
+
+    When a ``cube.v2`` container is present (``publish-v2``), it is
+    preferred: opening maps the file and unpacks **nothing** — no heap
+    rows, no index builds.  Two guards apply, with different outcomes:
+
+    * **staleness** — a v2 file whose recorded cube prefix, fact relation
+      or v1 meta checksum no longer matches the bundle's current state
+      (e.g. an ingest generation committed after the last ``publish-v2``)
+      is silently ignored in favour of the v1 relations, which are always
+      current;
+    * **corruption** — a v2 file that *does* describe the current cube
+      but fails structural validation raises
+      :class:`~repro.storage2.format.V2FormatError` (fail closed; a
+      damaged container must be noticed, not silently routed around).
+      Section-level bit flips surface the same way, lazily, on first
+      access.  Pass ``use_v2=False`` to force the v1 path.
     """
     root = Path(directory)
     meta_path = root / BUNDLE_META
@@ -212,10 +253,41 @@ def open_bundle(directory: str | Path) -> CubeBundle:
         cube_prefix = str(ingest_meta["cube_prefix"])
         fact_relation = str(ingest_meta["fact_relation"])
     catalog = Catalog(root)
+    if use_v2:
+        from repro.storage2.publish import V2_FILE
+
+        v2_path = root / V2_FILE
+        if v2_path.exists():
+            from repro.storage2.mapped import open_v2
+
+            mapped = open_v2(v2_path, schema)
+            current = (
+                mapped.file.meta.get("cube_prefix") == cube_prefix
+                and mapped.file.meta.get("fact_relation") == fact_relation
+                and mapped.file.meta.get("cube_meta_checksum")
+                == file_checksum(root / f"{cube_prefix}.meta.json")
+            )
+            if current:
+                return CubeBundle(
+                    root,
+                    schema,
+                    mapped.storage,
+                    catalog,
+                    meta.get("extra", {}),
+                    fact_relation,
+                    cube_prefix,
+                    v2=mapped,
+                )
     storage = CubeStorage.load(catalog, schema, prefix=cube_prefix)
     storage.row_resolver = lambda rowid: schema.dim_values(
         catalog.open(fact_relation).read_row(rowid)
     )
     return CubeBundle(
-        root, schema, storage, catalog, meta.get("extra", {}), fact_relation
+        root,
+        schema,
+        storage,
+        catalog,
+        meta.get("extra", {}),
+        fact_relation,
+        cube_prefix,
     )

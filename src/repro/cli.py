@@ -374,8 +374,39 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_publish_v2(args) -> int:
+    """Compact a bundle's cube into one mmap-served ``cube.v2`` file."""
+    from repro.storage2 import publish_v2_bundle, verify_v2
+
+    path = publish_v2_bundle(args.cube)
+    report = verify_v2(path, bundle_root=args.cube)
+    if not report.ok:
+        print(report.describe())
+        return 1
+    ratio = f"{report.ratio:.3f}" if report.ratio is not None else "?"
+    print(
+        f"published {path}: {len(report.sections)} sections, "
+        f"{report.file_bytes:,} bytes (v2/v1 ratio {ratio})"
+    )
+    return 0
+
+
 def cmd_verify_cube(args) -> int:
-    """Replay a durable build's checksums and row counts; exit 0 iff sound."""
+    """Replay a durable build's checksums and row counts; exit 0 iff sound.
+
+    With ``--cube`` the target is a bundle's ``cube.v2`` container
+    instead: every section checksum and codec is re-verified and the
+    per-section bytes plus the compression ratio against the bundle's v1
+    relations are reported.
+    """
+    if args.cube is not None:
+        from repro.storage2 import V2_FILE, verify_v2
+
+        report = verify_v2(Path(args.cube) / V2_FILE, bundle_root=args.cube)
+        print(report.describe())
+        return 0 if report.ok else 1
+    if args.catalog is None:
+        raise SystemExit("verify-cube needs --catalog (v1) or --cube (v2)")
     catalog_root = Path(args.catalog)
     manifest_path = (
         Path(args.manifest)
@@ -487,12 +518,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=cmd_serve)
 
+    publish = commands.add_parser(
+        "publish-v2",
+        help="compact a bundle's cube into one mmap-served cube.v2 file",
+    )
+    publish.add_argument("--cube", required=True, help="bundle directory")
+    publish.set_defaults(handler=cmd_publish_v2)
+
     verify = commands.add_parser(
         "verify-cube",
-        help="replay a crash-safe build's checksums and cardinalities",
+        help="replay a crash-safe build's checksums and cardinalities, "
+             "or verify a bundle's cube.v2 container (--cube)",
     )
     verify.add_argument(
-        "--catalog", required=True, help="engine catalog directory"
+        "--catalog", default=None, help="engine catalog directory (v1 mode)"
+    )
+    verify.add_argument(
+        "--cube", default=None,
+        help="bundle directory whose cube.v2 to verify (v2 mode)",
     )
     verify.add_argument(
         "--prefix", default="cube", help="cube relation prefix"

@@ -234,6 +234,12 @@ class DurableCubeBuild:
     partition_strategy: str = "exact"
     checkpoint_every: int = 1
     workers: int = 1
+    #: When set, a compacted :mod:`repro.storage2` container is published
+    #: here after the final commit.  Deliberately *not* part of the
+    #: recorded build options: the v2 file is a derived artifact — a
+    #: build crashed without one may resume with one, and vice versa,
+    #: without invalidating the manifest.
+    v2_path: Path | None = None
 
     @property
     def manifest_path(self) -> Path:
@@ -601,6 +607,33 @@ class DurableCubeBuild:
         for coarse_entry in (manifest.coarse, manifest.coarse2):
             if coarse_entry and catalog.exists(str(coarse_entry["name"])):
                 catalog.drop(str(coarse_entry["name"]))
+        self._publish_v2(storage)
+
+    def _publish_v2(self, storage: CubeStorage) -> None:
+        """Optionally compact the committed cube into one v2 container.
+
+        Runs *after* the manifest flips to complete: the v1 relations are
+        the durable source of truth, and a crash mid-compaction leaves a
+        resumable complete build whose readers simply fall back to v1
+        (``open_bundle`` ignores a missing or stale ``cube.v2``).
+        """
+        if self.v2_path is None:
+            return
+        from repro.storage2.publish import write_v2
+
+        catalog = self.engine.catalog
+        write_v2(
+            self.v2_path,
+            self.schema,
+            storage,
+            self.engine.relation(self.relation).load_batch(),
+            cube_prefix=self.prefix,
+            fact_relation=self.relation,
+            cube_meta_checksum=file_checksum(
+                catalog.root / f"{self.prefix}.meta.json"
+            ),
+            faults=catalog.faults,
+        )
 
     # -- verification helpers -----------------------------------------------
 

@@ -59,6 +59,7 @@ SITE_FAMILIES: frozenset[str] = frozenset(
         "checkpoint.write",
         "commit.final",
         "storage.meta",
+        "storage2.publish",
         "ingest.append",
         "ingest.seal",
         "ingest.apply",

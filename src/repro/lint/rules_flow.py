@@ -50,6 +50,7 @@ DURABLE_PRIMITIVES = frozenset(
     {
         "atomic_write_bytes",
         "atomic_write_text",
+        "atomic_write_chunks",
         "append_bytes",
         "truncate_file",
         "publish_file",

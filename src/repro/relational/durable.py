@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Protocol, TypeVar
@@ -135,6 +135,26 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
 def atomic_write_text(path: str | Path, text: str) -> None:
     """UTF-8 variant of :func:`atomic_write_bytes`."""
     atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_chunks(path: str | Path, chunks: Iterable[bytes]) -> None:
+    """Streaming variant of :func:`atomic_write_bytes`.
+
+    The chunks are written to the temporary sibling in order, flushed and
+    ``fsync``'d as one unit, then renamed into place — the same
+    old-file-or-new-file guarantee, without assembling a large payload
+    (a compacted cube container) in one contiguous buffer first.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".wip")
+    with open(tmp, "wb") as handle:
+        for chunk in chunks:
+            handle.write(chunk)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_directory(target.parent)
 
 
 def append_bytes(path: str | Path, data: bytes) -> None:

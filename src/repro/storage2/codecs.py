@@ -1,0 +1,287 @@
+"""The v2 format's section codecs: bit-pack, delta varint, Roaring.
+
+Every codec here is a pure ``bytes ↔ numpy array`` transform with a
+vectorized decode path — no Python-level loop ever touches an individual
+value, because decoding happens on the serving cold-start path the v2
+format exists to make instant.
+
+* **raw** — the array's little-endian bytes verbatim.  The only codec a
+  reader never decodes: a raw section is handed back as a zero-copy
+  ``np.memmap`` view.
+* **bitpack** — non-negative integers stored as ``bits`` bit-planes,
+  each plane packed with ``np.packbits`` ("Efficient Representation of
+  Multidimensional Data over Hierarchical Domains": dimension codes
+  need ``⌈log2 cardinality⌉`` bits, not 32).
+* **delta** — zigzag-encoded deltas as LEB128 varints.  Sorted row-id
+  lists (CURE+ TTs, CSR postings) become streams of tiny positive gaps;
+  the decode is one ``np.bitwise_or.reduceat`` over shifted 7-bit
+  groups, with the varint terminator bytes (high bit clear) marking the
+  group boundaries.
+* **roaring** — the Roaring partitioning: values split by their high 16
+  bits into per-chunk containers, each stored as a sorted ``uint16``
+  array (sparse) or a 8 KiB bitmap (dense, > 4096 members).
+
+``encode_rowid_list`` applies the deterministic publish-time choice rule
+between ``delta`` and ``roaring`` for sorted row-id lists.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+#: Container cardinality above which a Roaring chunk switches from a
+#: sorted uint16 array to a fixed 8 KiB bitmap (the classic threshold:
+#: 4096 × 2 bytes = 8192 bytes, the bitmap's size).
+ROARING_ARRAY_LIMIT = 4096
+_ROARING_CONTAINER = struct.Struct("<IBI")
+_ROARING_ARRAY, _ROARING_BITMAP = 0, 1
+#: Longest legal varint for a 64-bit value: ⌈64 / 7⌉ bytes.
+_VARINT_MAX_BYTES = 10
+
+RAW = "raw"
+BITPACK = "bitpack"
+DELTA = "delta"
+ROARING = "roaring"
+
+
+class CodecError(ValueError):
+    """A payload does not decode under the codec that claims it."""
+
+
+# -- bit packing ---------------------------------------------------------------
+
+
+def min_bits(values: np.ndarray) -> int:
+    """Bits needed for the largest value (at least 1; values must be >= 0)."""
+    if len(values) == 0:
+        return 1
+    low, high = int(values.min()), int(values.max())
+    if low < 0:
+        raise CodecError("bitpack requires non-negative values")
+    return max(1, high.bit_length())
+
+
+def bitpack_encode(values: np.ndarray, bits: int) -> bytes:
+    """Pack non-negative integers into ``bits`` little-endian bit-planes."""
+    if not 1 <= bits <= 63:
+        raise CodecError(f"bitpack width must be in [1, 63], got {bits}")
+    v = np.asarray(values, dtype=np.int64)
+    if len(v) == 0:
+        return b""
+    if int(v.min()) < 0 or int(v.max()) >= (1 << bits):
+        raise CodecError(f"values do not fit in {bits} bits")
+    u = v.astype(np.uint64)
+    shifts = np.arange(bits, dtype=np.uint64)
+    planes = ((u[None, :] >> shifts[:, None]) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(planes, axis=1, bitorder="little").tobytes()
+
+
+def bitpack_decode(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`bitpack_encode`; returns an int64 array."""
+    if not 1 <= bits <= 63:
+        raise CodecError(f"bitpack width must be in [1, 63], got {bits}")
+    if count == 0:
+        if data:
+            raise CodecError("bitpack payload for zero values must be empty")
+        return np.empty(0, dtype=np.int64)
+    stride = (count + 7) // 8
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if len(raw) != bits * stride:
+        raise CodecError(
+            f"bitpack payload holds {len(raw)} bytes, "
+            f"expected {bits * stride} for {count} x {bits}-bit values"
+        )
+    planes = np.unpackbits(
+        raw.reshape(bits, stride), axis=1, count=count, bitorder="little"
+    )
+    out = np.zeros(count, dtype=np.int64)
+    for b in range(bits):
+        out |= planes[b].astype(np.int64) << b
+    return out
+
+
+# -- zigzag delta varints ------------------------------------------------------
+
+
+def _zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed int64 to uint64 so small magnitudes stay small."""
+    return (values.astype(np.uint64) << np.uint64(1)) ^ (
+        values >> np.int64(63)
+    ).astype(np.uint64)
+
+
+def _unzigzag(values: np.ndarray) -> np.ndarray:
+    return (
+        (values >> np.uint64(1)) ^ (np.uint64(0) - (values & np.uint64(1)))
+    ).astype(np.int64)
+
+
+def delta_encode(values: np.ndarray) -> bytes:
+    """First value plus successive deltas, zigzagged, as LEB128 varints."""
+    v = np.asarray(values, dtype=np.int64)
+    if len(v) == 0:
+        return b""
+    deltas = np.empty(len(v), dtype=np.int64)
+    deltas[0] = v[0]
+    np.subtract(v[1:], v[:-1], out=deltas[1:])
+    z = _zigzag(deltas)
+    nbytes = np.ones(len(z), dtype=np.int64)
+    for k in range(1, _VARINT_MAX_BYTES):
+        nbytes += (z >= np.uint64(1 << (7 * k))).astype(np.int64)
+    ends = np.cumsum(nbytes)
+    starts = ends - nbytes
+    out = np.zeros(int(ends[-1]), dtype=np.uint8)
+    for k in range(_VARINT_MAX_BYTES):
+        mask = nbytes > k
+        if not mask.any():
+            break
+        chunk = ((z[mask] >> np.uint64(7 * k)) & np.uint64(0x7F)).astype(
+            np.uint8
+        )
+        chunk |= (nbytes[mask] > k + 1).astype(np.uint8) << 7
+        out[starts[mask] + k] = chunk
+    return out.tobytes()
+
+
+def delta_decode(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`delta_encode`; returns an int64 array.
+
+    Fully vectorized: terminator bytes (high bit clear) delimit varint
+    groups; each group's 7-bit limbs are shifted into place and OR-folded
+    with one ``np.bitwise_or.reduceat``, then the zigzagged deltas cumsum
+    back to the original values.
+    """
+    if count == 0:
+        if data:
+            raise CodecError("delta payload for zero values must be empty")
+        return np.empty(0, dtype=np.int64)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if len(raw) == 0:
+        raise CodecError(f"empty delta payload for {count} values")
+    ends = np.flatnonzero((raw & 0x80) == 0)
+    if len(ends) != count:
+        raise CodecError(
+            f"delta payload holds {len(ends)} varints, expected {count}"
+        )
+    if int(ends[-1]) != len(raw) - 1:
+        raise CodecError("trailing continuation bytes in delta payload")
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if int(lengths.max()) > _VARINT_MAX_BYTES:
+        raise CodecError("varint longer than 10 bytes in delta payload")
+    position = np.arange(len(raw), dtype=np.int64) - np.repeat(
+        starts, lengths
+    )
+    limbs = (raw.astype(np.uint64) & np.uint64(0x7F)) << (
+        np.uint64(7) * position.astype(np.uint64)
+    )
+    z = np.bitwise_or.reduceat(limbs, starts)
+    return np.cumsum(_unzigzag(z), dtype=np.int64)
+
+
+# -- Roaring-style containers --------------------------------------------------
+
+
+def roaring_encode(values: np.ndarray) -> bytes:
+    """Encode a strictly-ascending list of row-ids in ``[0, 2^32)``."""
+    v = np.asarray(values, dtype=np.int64)
+    if len(v):
+        if int(v.min()) < 0 or int(v.max()) >= (1 << 32):
+            raise CodecError("roaring values must lie in [0, 2^32)")
+        if len(v) > 1 and int(np.diff(v).min()) <= 0:
+            raise CodecError("roaring values must be strictly ascending")
+    u = v.astype(np.uint64)
+    highs = (u >> np.uint64(16)).astype(np.uint32)
+    lows = (u & np.uint64(0xFFFF)).astype(np.uint16)
+    boundaries = np.flatnonzero(np.diff(highs)) + 1
+    starts = np.concatenate(
+        (np.zeros(1 if len(v) else 0, dtype=np.int64), boundaries)
+    )
+    stops = np.concatenate((boundaries, np.asarray([len(v)])[: len(starts)]))
+    parts: list[bytes] = [struct.pack("<I", len(starts))]
+    for start, stop in zip(starts.tolist(), stops.tolist()):
+        key = int(highs[start])
+        chunk = lows[start:stop]
+        if len(chunk) > ROARING_ARRAY_LIMIT:
+            bits = np.zeros(1 << 16, dtype=np.uint8)
+            bits[chunk] = 1
+            payload = np.packbits(bits, bitorder="little").tobytes()
+            kind = _ROARING_BITMAP
+        else:
+            payload = chunk.astype("<u2").tobytes()
+            kind = _ROARING_ARRAY
+        parts.append(_ROARING_CONTAINER.pack(key, kind, len(chunk)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def roaring_decode(data: bytes) -> np.ndarray:
+    """Inverse of :func:`roaring_encode`; returns an ascending int64 array."""
+    if len(data) < 4:
+        raise CodecError("roaring payload shorter than its container count")
+    (n_containers,) = struct.unpack_from("<I", data, 0)
+    offset = 4
+    pieces: list[np.ndarray] = []
+    previous_key = -1
+    for _ in range(n_containers):
+        if offset + _ROARING_CONTAINER.size > len(data):
+            raise CodecError("truncated roaring container header")
+        key, kind, cardinality = _ROARING_CONTAINER.unpack_from(data, offset)
+        offset += _ROARING_CONTAINER.size
+        if key <= previous_key:
+            raise CodecError("roaring container keys must ascend")
+        previous_key = key
+        if kind == _ROARING_BITMAP:
+            size = 1 << 13
+            if offset + size > len(data):
+                raise CodecError("truncated roaring bitmap container")
+            bits = np.frombuffer(data, dtype=np.uint8, count=size, offset=offset)
+            lows = np.flatnonzero(np.unpackbits(bits, bitorder="little"))
+            if len(lows) != cardinality:
+                raise CodecError("roaring bitmap cardinality mismatch")
+        elif kind == _ROARING_ARRAY:
+            size = 2 * cardinality
+            if offset + size > len(data):
+                raise CodecError("truncated roaring array container")
+            lows = np.frombuffer(
+                data, dtype="<u2", count=cardinality, offset=offset
+            ).astype(np.int64)
+        else:
+            raise CodecError(f"unknown roaring container kind {kind}")
+        offset += size
+        pieces.append((np.int64(key) << np.int64(16)) | lows.astype(np.int64))
+    if offset != len(data):
+        raise CodecError("trailing bytes after the last roaring container")
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(pieces)
+
+
+# -- the publish-time row-id list choice rule ----------------------------------
+
+
+def encode_rowid_list(values: np.ndarray) -> tuple[str, bytes]:
+    """Pick the smaller of ``delta`` / ``roaring`` for a row-id list.
+
+    Roaring is only eligible for strictly-ascending lists within
+    ``[0, 2^32)`` (CURE+ sorted TT lists); ties and everything else go to
+    ``delta``, which handles arbitrary int64 sequences.  The rule is a
+    pure function of the list, so republishing is deterministic.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    delta_payload = delta_encode(v)
+    eligible = (
+        len(v) > 0
+        and int(v.min()) >= 0
+        and int(v.max()) < (1 << 32)
+        and (len(v) == 1 or int(np.diff(v).min()) > 0)
+    )
+    if eligible:
+        roaring_payload = roaring_encode(v)
+        if len(roaring_payload) < len(delta_payload):
+            return ROARING, roaring_payload
+    return DELTA, delta_payload

@@ -1,0 +1,395 @@
+"""The v2 cube container: sectioned, checksummed, alignment-padded.
+
+One ``cube.v2`` file holds every relation of a published cube plus the
+fact columns and CSR inverted indices, laid out so that opening is an
+``np.memmap`` and *reading* is a view::
+
+    ┌────────────────────────────┐ 0
+    │ header: magic + version    │ 16 bytes
+    ├────────────────────────────┤ 64-byte aligned
+    │ section 0 payload          │
+    ├────────────────────────────┤ 64-byte aligned
+    │ section 1 payload          │
+    │ …                          │
+    ├────────────────────────────┤
+    │ directory (canonical JSON) │ named section table + cube metadata
+    ├────────────────────────────┤ file size − 64
+    │ trailer: dir offset/len,   │
+    │ dir SHA-256, magic         │ 64 bytes
+    └────────────────────────────┘
+
+Every section entry records its codec, dtype, logical shape, value count
+and the SHA-256 of its payload bytes.  ``raw`` sections decode as
+zero-copy memmap views (64-byte alignment keeps the views aligned for
+any dtype); compressed sections (``bitpack``/``delta``/``roaring``)
+decode lazily, once, on first access.
+
+Integrity is *fail closed*: the header, trailer and directory are
+verified on open (so truncation and metadata corruption never produce a
+reader), and each section's checksum is verified on its first access —
+before any view or decoded array is handed out — so a bit flip raises
+:class:`SectionCorruption` instead of ever feeding a query wrong bytes.
+The checksum work is per-section and lazy precisely so cold starts only
+pay for the sections a query actually touches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.storage2.codecs import (
+    BITPACK,
+    DELTA,
+    RAW,
+    ROARING,
+    CodecError,
+    bitpack_decode,
+    delta_decode,
+    roaring_decode,
+)
+
+MAGIC = b"CUREv2\x00\n"
+FORMAT_VERSION = 1
+ALIGNMENT = 64
+_HEADER = struct.Struct("<8sII")  # magic, version, reserved
+_TRAILER = struct.Struct("<QQ32s8s8s")  # dir offset, dir len, dir sha, pad, magic
+HEADER_BYTES = _HEADER.size
+TRAILER_BYTES = _TRAILER.size
+
+
+class V2FormatError(RuntimeError):
+    """The file is not a readable v2 cube (structure or metadata)."""
+
+
+class SectionCorruption(V2FormatError):
+    """A section's bytes do not match their recorded checksum."""
+
+
+@dataclass(frozen=True)
+class SectionEntry:
+    """One named payload inside the container."""
+
+    name: str
+    offset: int
+    nbytes: int
+    codec: str
+    dtype: str
+    shape: tuple[int, ...]
+    count: int
+    sha256: str
+    extra: dict[str, Any]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "offset": self.offset,
+            "bytes": self.nbytes,
+            "codec": self.codec,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "count": self.count,
+            "sha256": self.sha256,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "SectionEntry":
+        return cls(
+            name=str(payload["name"]),
+            offset=int(payload["offset"]),
+            nbytes=int(payload["bytes"]),
+            codec=str(payload["codec"]),
+            dtype=str(payload["dtype"]),
+            shape=tuple(int(v) for v in payload["shape"]),
+            count=int(payload["count"]),
+            sha256=str(payload["sha256"]),
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+class V2Writer:
+    """Accumulates sections, then streams the assembled container.
+
+    Offsets are fixed at ``add_*`` time, so the writer can hand the
+    durable layer an iterator of chunks instead of one giant buffer.
+    """
+
+    def __init__(self, meta: dict[str, Any]) -> None:
+        self.meta = dict(meta)
+        self._entries: list[SectionEntry] = []
+        self._payloads: list[bytes] = []
+        self._cursor = HEADER_BYTES
+
+    def add_array(self, name: str, array: np.ndarray) -> None:
+        """Add a ``raw`` section: the array's bytes, zero-copy on read."""
+        data = np.ascontiguousarray(array).tobytes()
+        self.add_section(
+            name,
+            data,
+            codec=RAW,
+            dtype=array.dtype.newbyteorder("<").str,
+            shape=tuple(array.shape),
+            count=int(array.size),
+        )
+
+    def add_section(
+        self,
+        name: str,
+        payload: bytes,
+        codec: str,
+        dtype: str,
+        shape: tuple[int, ...],
+        count: int,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        if any(entry.name == name for entry in self._entries):
+            raise ValueError(f"duplicate section name {name!r}")
+        offset = _aligned(self._cursor)
+        self._entries.append(
+            SectionEntry(
+                name=name,
+                offset=offset,
+                nbytes=len(payload),
+                codec=codec,
+                dtype=dtype,
+                shape=shape,
+                count=count,
+                sha256=hashlib.sha256(payload).hexdigest(),
+                extra=dict(extra or {}),
+            )
+        )
+        self._payloads.append(payload)
+        self._cursor = offset + len(payload)
+
+    @property
+    def section_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self._entries)
+
+    def directory_json(self) -> bytes:
+        document = {
+            "version": FORMAT_VERSION,
+            "meta": self.meta,
+            "sections": [entry.to_json() for entry in self._entries],
+        }
+        return json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def chunks(self) -> Iterator[bytes]:
+        """The container, in order, as an iterator of byte chunks."""
+        yield _HEADER.pack(MAGIC, FORMAT_VERSION, 0)
+        cursor = HEADER_BYTES
+        for entry, payload in zip(self._entries, self._payloads):
+            if entry.offset > cursor:
+                yield b"\x00" * (entry.offset - cursor)
+            yield payload
+            cursor = entry.offset + entry.nbytes
+        directory_offset = _aligned(cursor)
+        if directory_offset > cursor:
+            yield b"\x00" * (directory_offset - cursor)
+        directory = self.directory_json()
+        yield directory
+        yield _TRAILER.pack(
+            directory_offset,
+            len(directory),
+            hashlib.sha256(directory).digest(),
+            b"\x00" * 8,
+            MAGIC,
+        )
+
+
+class V2File:
+    """A mapped, lazily-verified v2 cube container (read-only)."""
+
+    def __init__(
+        self,
+        path: Path,
+        mapped: np.ndarray,
+        meta: dict[str, Any],
+        entries: dict[str, SectionEntry],
+    ) -> None:
+        self.path = path
+        self._mapped = mapped
+        self.meta = meta
+        self._entries = entries
+        self._verified: set[str] = set()
+        self._decoded: dict[str, np.ndarray] = {}
+
+    # -- opening ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | Path) -> "V2File":
+        target = Path(path)
+        if not target.exists():
+            raise V2FormatError(f"no v2 cube file at {target}")
+        size = target.stat().st_size
+        if size < HEADER_BYTES + TRAILER_BYTES:
+            raise V2FormatError(
+                f"{target} is {size} bytes — shorter than a v2 header + trailer"
+            )
+        mapped = np.memmap(target, dtype=np.uint8, mode="r")
+        magic, version, _reserved = _HEADER.unpack(
+            bytes(mapped[:HEADER_BYTES])
+        )
+        if magic != MAGIC:
+            raise V2FormatError(f"{target} does not start with the v2 magic")
+        if version != FORMAT_VERSION:
+            raise V2FormatError(
+                f"{target} is format version {version}; "
+                f"this reader supports {FORMAT_VERSION}"
+            )
+        dir_offset, dir_len, dir_sha, _pad, trailer_magic = _TRAILER.unpack(
+            bytes(mapped[size - TRAILER_BYTES :])
+        )
+        if trailer_magic != MAGIC:
+            raise V2FormatError(
+                f"{target} has no v2 trailer (truncated or overwritten)"
+            )
+        if not (
+            HEADER_BYTES <= dir_offset
+            and dir_offset + dir_len <= size - TRAILER_BYTES
+        ):
+            raise V2FormatError(f"{target}: directory bounds fall outside the file")
+        directory = bytes(mapped[dir_offset : dir_offset + dir_len])
+        if hashlib.sha256(directory).digest() != dir_sha:
+            raise SectionCorruption(
+                f"{target}: directory checksum mismatch (corrupt file)"
+            )
+        try:
+            document = json.loads(directory)
+        except ValueError as error:
+            raise V2FormatError(f"{target}: directory is not JSON") from error
+        if document.get("version") != FORMAT_VERSION:
+            raise V2FormatError(f"{target}: directory/header version mismatch")
+        entries: dict[str, SectionEntry] = {}
+        for payload in document.get("sections", []):
+            entry = SectionEntry.from_json(payload)
+            if entry.name in entries:
+                raise V2FormatError(
+                    f"{target}: duplicate section {entry.name!r}"
+                )
+            if entry.offset % ALIGNMENT or not (
+                HEADER_BYTES <= entry.offset
+                and entry.offset + entry.nbytes <= dir_offset
+            ):
+                raise V2FormatError(
+                    f"{target}: section {entry.name!r} is misaligned or "
+                    "falls outside the data region"
+                )
+            entries[entry.name] = entry
+        return cls(target, mapped, dict(document.get("meta", {})), entries)
+
+    # -- access -------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def has(self, name: str) -> bool:
+        return name in self._entries
+
+    def entry(self, name: str) -> SectionEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise V2FormatError(
+                f"{self.path} has no section {name!r}"
+            ) from None
+
+    def section_bytes(self, name: str) -> np.ndarray:
+        """The section's payload bytes, checksum-verified (once, lazily)."""
+        entry = self.entry(name)
+        view = self._mapped[entry.offset : entry.offset + entry.nbytes]
+        if name not in self._verified:
+            digest = hashlib.sha256(view).hexdigest()
+            if digest != entry.sha256:
+                raise SectionCorruption(
+                    f"{self.path}: section {name!r} checksum mismatch "
+                    f"(expected {entry.sha256[:12]}…, got {digest[:12]}…)"
+                )
+            self._verified.add(name)
+        return view
+
+    def array(self, name: str) -> np.ndarray:
+        """The section decoded to its array (zero-copy for ``raw``)."""
+        cached = self._decoded.get(name)
+        if cached is not None:
+            return cached
+        entry = self.entry(name)
+        payload = self.section_bytes(name)
+        try:
+            array = self._decode(entry, payload)
+        except CodecError as error:
+            raise SectionCorruption(
+                f"{self.path}: section {name!r} fails to decode: {error}"
+            ) from error
+        self._decoded[name] = array
+        return array
+
+    def _decode(self, entry: SectionEntry, payload: np.ndarray) -> np.ndarray:
+        dtype = np.dtype(entry.dtype)
+        if entry.codec == RAW:
+            if entry.nbytes != dtype.itemsize * entry.count:
+                raise CodecError(
+                    f"raw payload is {entry.nbytes} bytes, expected "
+                    f"{dtype.itemsize * entry.count}"
+                )
+            array = payload.view(dtype)
+        elif entry.codec == BITPACK:
+            array = bitpack_decode(
+                payload.tobytes(), int(entry.extra["bits"]), entry.count
+            ).astype(dtype, copy=False)
+        elif entry.codec == DELTA:
+            array = delta_decode(payload.tobytes(), entry.count).astype(
+                dtype, copy=False
+            )
+        elif entry.codec == ROARING:
+            array = roaring_decode(payload.tobytes()).astype(dtype, copy=False)
+            if len(array) != entry.count:
+                raise CodecError(
+                    f"roaring payload decodes {len(array)} values, "
+                    f"expected {entry.count}"
+                )
+        else:
+            raise CodecError(f"unknown codec {entry.codec!r}")
+        if array.size != entry.count:
+            raise CodecError(
+                f"decoded {array.size} values, expected {entry.count}"
+            )
+        if len(entry.shape) > 1:
+            array = array.reshape(entry.shape)
+        return array
+
+    def verify_section(self, name: str) -> str | None:
+        """Re-check one section; returns a problem string or None."""
+        try:
+            self._verified.discard(name)
+            self.section_bytes(name)
+            self._decoded.pop(name, None)
+            self.array(name)
+        except V2FormatError as error:
+            return str(error)
+        return None
+
+    def verify_all(self) -> list[str]:
+        """Checksum + decode every section; returns the problems found."""
+        problems = []
+        for name in self.names():
+            problem = self.verify_section(name)
+            if problem is not None:
+                problems.append(problem)
+        return problems
+
+    @property
+    def file_bytes(self) -> int:
+        return int(self._mapped.size)

@@ -1,0 +1,120 @@
+"""Offline integrity + size reporting for v2 cube files (``verify-cube``).
+
+``verify_v2`` re-checks what the lazy read path defers: every section's
+SHA-256 and decodability, on top of the header/trailer/directory
+validation :meth:`~repro.storage2.format.V2File.open` already performs.
+It also reports per-section on-disk bytes and — when the surrounding
+bundle is available — the compression ratio against the v1 heap-file
+representation of the same cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.storage2.format import V2File, V2FormatError
+
+
+@dataclass
+class SectionReport:
+    """One section's verification outcome."""
+
+    name: str
+    codec: str
+    nbytes: int
+    count: int
+    problem: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.problem is None
+
+
+@dataclass
+class V2Report:
+    """The whole file's verification outcome."""
+
+    path: Path
+    file_bytes: int = 0
+    sections: list[SectionReport] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    #: Total on-disk bytes of the v1 representation (cube relations,
+    #: fact relation and metadata), when a bundle root was supplied.
+    v1_bytes: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and all(s.ok for s in self.sections)
+
+    @property
+    def ratio(self) -> float | None:
+        """v2 bytes / v1 bytes (< 1.0 means the v2 file is smaller)."""
+        if not self.v1_bytes:
+            return None
+        return self.file_bytes / self.v1_bytes
+
+    def describe(self) -> str:
+        lines = [
+            f"v2 cube {self.path}: "
+            f"{'OK' if self.ok else 'CORRUPT'}, "
+            f"{len(self.sections)} sections, {self.file_bytes} bytes"
+        ]
+        if self.v1_bytes:
+            lines.append(
+                f"  v1 on-disk bytes: {self.v1_bytes} "
+                f"(v2/v1 ratio {self.ratio:.3f})"
+            )
+        for section in self.sections:
+            status = "ok" if section.ok else f"FAIL {section.problem}"
+            lines.append(
+                f"  {section.name:<24} {section.codec:<8} "
+                f"{section.nbytes:>10} B  {section.count:>8} values  {status}"
+            )
+        for problem in self.problems:
+            lines.append(f"  problem: {problem}")
+        return "\n".join(lines)
+
+
+def v1_disk_bytes(root: Path, cube_prefix: str, fact_relation: str) -> int:
+    """On-disk bytes of the bundle's v1 files for the same content."""
+    total = 0
+    for pattern in (
+        f"{cube_prefix}.*",
+        f"{fact_relation}.dat",
+        f"{fact_relation}.schema.json",
+    ):
+        for path in Path(root).glob(pattern):
+            if path.is_file() and not path.name.endswith(".v2"):
+                total += path.stat().st_size
+    return total
+
+
+def verify_v2(path: str | Path, bundle_root: str | Path | None = None) -> V2Report:
+    """Fully verify one v2 file; never raises on corruption, reports it."""
+    target = Path(path)
+    report = V2Report(target)
+    try:
+        file = V2File.open(target)
+    except V2FormatError as error:
+        report.problems.append(str(error))
+        return report
+    report.file_bytes = file.file_bytes
+    for name in file.names():
+        entry = file.entry(name)
+        report.sections.append(
+            SectionReport(
+                name,
+                entry.codec,
+                entry.nbytes,
+                entry.count,
+                file.verify_section(name),
+            )
+        )
+    if bundle_root is not None:
+        report.v1_bytes = v1_disk_bytes(
+            Path(bundle_root),
+            str(file.meta.get("cube_prefix", "cube")),
+            str(file.meta.get("fact_relation", "fact")),
+        )
+    return report

@@ -1,0 +1,223 @@
+"""Property tests: every v2 codec is a bijection on its domain.
+
+``encode ∘ decode ≡ id`` must hold on adversarial distributions — not
+just uniform data but the shapes each codec is worst at: single-bit
+widths, 63-bit magnitudes, huge positive and negative deltas, dense and
+sparse Roaring chunks straddling the 4096-member array/bitmap threshold,
+and every empty/singleton degenerate.  Malformed payloads must raise
+:class:`~repro.storage2.codecs.CodecError`, never decode to garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.storage2.codecs import (
+    DELTA,
+    ROARING,
+    ROARING_ARRAY_LIMIT,
+    CodecError,
+    bitpack_decode,
+    bitpack_encode,
+    delta_decode,
+    delta_encode,
+    encode_rowid_list,
+    min_bits,
+    roaring_decode,
+    roaring_encode,
+)
+
+# -- bitpack -----------------------------------------------------------------
+
+
+@st.composite
+def packable(draw):
+    bits = draw(st.integers(1, 63))
+    values = draw(
+        st.lists(st.integers(0, (1 << bits) - 1), min_size=0, max_size=200)
+    )
+    return bits, np.asarray(values, dtype=np.int64)
+
+
+@given(packable())
+@settings(max_examples=120, deadline=None)
+def test_bitpack_roundtrip(case):
+    bits, values = case
+    decoded = bitpack_decode(bitpack_encode(values, bits), bits, len(values))
+    assert decoded.dtype == np.int64
+    assert decoded.tolist() == values.tolist()
+
+
+@pytest.mark.parametrize("bits", [1, 7, 8, 32, 63])
+def test_bitpack_boundary_values(bits):
+    values = np.asarray([0, (1 << bits) - 1, 0, 1], dtype=np.int64)
+    decoded = bitpack_decode(bitpack_encode(values, bits), bits, len(values))
+    assert decoded.tolist() == values.tolist()
+
+
+def test_bitpack_rejects_misfit_and_bad_width():
+    with pytest.raises(CodecError):
+        bitpack_encode(np.asarray([4], dtype=np.int64), 2)
+    with pytest.raises(CodecError):
+        bitpack_encode(np.asarray([-1], dtype=np.int64), 8)
+    with pytest.raises(CodecError):
+        bitpack_encode(np.asarray([1], dtype=np.int64), 0)
+    with pytest.raises(CodecError):
+        bitpack_encode(np.asarray([1], dtype=np.int64), 64)
+    with pytest.raises(CodecError):
+        bitpack_decode(b"\x00\x00\x00", 8, 17)  # wrong payload size
+    with pytest.raises(CodecError):
+        bitpack_decode(b"\x01", 1, 0)  # payload for zero values
+
+
+def test_min_bits():
+    assert min_bits(np.asarray([], dtype=np.int64)) == 1
+    assert min_bits(np.asarray([0], dtype=np.int64)) == 1
+    assert min_bits(np.asarray([255], dtype=np.int64)) == 8
+    assert min_bits(np.asarray([256], dtype=np.int64)) == 9
+    with pytest.raises(CodecError):
+        min_bits(np.asarray([-3], dtype=np.int64))
+
+
+# -- delta varints -----------------------------------------------------------
+
+
+int64s = st.integers(-(1 << 62), (1 << 62) - 1)
+
+
+@given(st.lists(int64s, min_size=0, max_size=200))
+@settings(max_examples=120, deadline=None)
+def test_delta_roundtrip_arbitrary_int64(values):
+    array = np.asarray(values, dtype=np.int64)
+    decoded = delta_decode(delta_encode(array), len(array))
+    assert decoded.tolist() == values
+
+
+@given(st.lists(st.integers(0, 1 << 40), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_delta_roundtrip_sorted_rowids(values):
+    array = np.sort(np.asarray(values, dtype=np.int64))
+    decoded = delta_decode(delta_encode(array), len(array))
+    assert decoded.tolist() == array.tolist()
+
+
+def test_delta_extremes():
+    values = np.asarray(
+        [0, 2**62, -(2**62), 1, -1, 2**62 - 1], dtype=np.int64
+    )
+    assert delta_decode(delta_encode(values), len(values)).tolist() == (
+        values.tolist()
+    )
+
+
+def test_delta_malformed_payloads():
+    payload = delta_encode(np.asarray([5, 9, 200], dtype=np.int64))
+    with pytest.raises(CodecError):
+        delta_decode(payload, 2)  # wrong count
+    with pytest.raises(CodecError):
+        delta_decode(payload + b"\x80", 3)  # trailing continuation byte
+    with pytest.raises(CodecError):
+        delta_decode(b"\x80" * 11 + b"\x01", 1)  # varint over 10 bytes
+    with pytest.raises(CodecError):
+        delta_decode(b"", 3)
+    with pytest.raises(CodecError):
+        delta_decode(b"\x01", 0)
+
+
+# -- Roaring containers ------------------------------------------------------
+
+
+@st.composite
+def ascending_rowids(draw):
+    # Gaps skewed tiny so many values share one 2^16 chunk, with an
+    # occasional huge gap to force several containers.
+    gaps = draw(
+        st.lists(
+            st.one_of(
+                st.integers(1, 8),
+                st.integers(1, 1 << 18),
+            ),
+            min_size=0,
+            max_size=300,
+        )
+    )
+    return np.cumsum(np.asarray([0] + gaps, dtype=np.int64))[1:] if gaps else (
+        np.empty(0, dtype=np.int64)
+    )
+
+
+@given(ascending_rowids())
+@settings(max_examples=100, deadline=None)
+def test_roaring_roundtrip(values):
+    decoded = roaring_decode(roaring_encode(values))
+    assert decoded.tolist() == values.tolist()
+
+
+def test_roaring_dense_container_uses_bitmap():
+    # > 4096 members inside one 2^16 chunk flips to the bitmap layout.
+    values = np.arange(ROARING_ARRAY_LIMIT + 100, dtype=np.int64) * 2
+    payload = roaring_encode(values)
+    assert len(payload) < 8 * len(values)
+    assert roaring_decode(payload).tolist() == values.tolist()
+
+
+def test_roaring_sparse_vs_dense_boundary():
+    for count in (ROARING_ARRAY_LIMIT, ROARING_ARRAY_LIMIT + 1):
+        values = np.arange(count, dtype=np.int64)
+        assert roaring_decode(roaring_encode(values)).tolist() == (
+            values.tolist()
+        )
+
+
+def test_roaring_rejects_bad_inputs():
+    with pytest.raises(CodecError):
+        roaring_encode(np.asarray([-1], dtype=np.int64))
+    with pytest.raises(CodecError):
+        roaring_encode(np.asarray([1 << 32], dtype=np.int64))
+    with pytest.raises(CodecError):
+        roaring_encode(np.asarray([3, 3], dtype=np.int64))  # not strict
+    with pytest.raises(CodecError):
+        roaring_encode(np.asarray([5, 2], dtype=np.int64))  # descending
+
+
+def test_roaring_rejects_malformed_payloads():
+    good = roaring_encode(np.asarray([1, 2, 70000], dtype=np.int64))
+    with pytest.raises(CodecError):
+        roaring_decode(good[:-1])  # truncated container
+    with pytest.raises(CodecError):
+        roaring_decode(good + b"\x00")  # trailing bytes
+    with pytest.raises(CodecError):
+        roaring_decode(b"\x00")  # shorter than the count header
+
+
+# -- the publish-time choice rule --------------------------------------------
+
+
+@given(ascending_rowids())
+@settings(max_examples=60, deadline=None)
+def test_rowid_list_choice_roundtrips_and_is_minimal(values):
+    codec, payload = encode_rowid_list(values)
+    decoded = (
+        roaring_decode(payload)
+        if codec == ROARING
+        else delta_decode(payload, len(values))
+    )
+    assert decoded.tolist() == values.tolist()
+    # The rule picks the smaller encoding (ties go to delta).
+    other = (
+        delta_encode(values)
+        if codec == ROARING
+        else (roaring_encode(values) if len(values) else payload)
+    )
+    assert len(payload) <= len(other)
+
+
+def test_rowid_list_choice_handles_unsorted_and_negative():
+    for values in ([5, 2, 9], [-4, 10], [7, 7, 7]):
+        array = np.asarray(values, dtype=np.int64)
+        codec, payload = encode_rowid_list(array)
+        assert codec == DELTA
+        assert delta_decode(payload, len(array)).tolist() == values

@@ -1,0 +1,86 @@
+"""Cold-start contract: opening a v2 bundle unpacks **zero** heap rows.
+
+The whole point of the mapped container is that time-to-first-answer no
+longer pays for decoding the fact heap file and rebuilding indices.  A
+spy over every :class:`HeapFile` read primitive proves the v2 open +
+planner + first-query path never touches them, and that the answers it
+produces match a fully warmed v1 bundle's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.relational.heap as heap_module
+from repro.bundle import open_bundle
+from repro.query.planner import QueryRequest
+from repro.query.workload import mixed_workload
+from repro.server.encoding import encode_answer
+from repro.server.replay import replay_op
+
+SPIED = ("load_batch", "load", "load_mapped", "read_row", "read_rows", "scan")
+
+
+@pytest.fixture
+def heap_reads(monkeypatch):
+    """Counts every heap-file row-reading call, by method name."""
+    counts = {name: 0 for name in SPIED}
+    for name in SPIED:
+        original = getattr(heap_module.HeapFile, name)
+
+        def spy(self, *args, _name=name, _original=original, **kwargs):
+            counts[_name] += 1
+            return _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(heap_module.HeapFile, name, spy)
+    return counts
+
+
+def test_v2_cold_start_reads_no_heap_rows(dual_bundles, heap_reads):
+    v1, _ = dual_bundles["CURE+"]
+    schema = v1.schema
+
+    # Warm reference answers first (these *do* hit the heap).
+    reference = v1.planner()
+    nodes = list(schema.lattice.nodes())[:6]
+    expected = {
+        schema.node_id(node): encode_answer(
+            schema, node, reference.answer(QueryRequest.of(node)), kind="node"
+        )
+        for node in nodes
+    }
+    ops = mixed_workload(schema, 20, seed=41)
+    expected_ops = [replay_op(reference, op) for op in ops]
+    for name in heap_reads:
+        heap_reads[name] = 0
+
+    # Cold start: open, plan, answer — all over the mapped container.
+    bundle = open_bundle(v1.root)
+    try:
+        assert bundle.v2 is not None
+        planner = bundle.planner()
+        for node in nodes:
+            body = encode_answer(
+                schema, node, planner.answer(QueryRequest.of(node)), kind="node"
+            )
+            assert body == expected[schema.node_id(node)]
+        for op, want in zip(ops, expected_ops):
+            assert replay_op(planner, op) == want, op
+    finally:
+        bundle.close()
+
+    assert heap_reads == {name: 0 for name in SPIED}, heap_reads
+
+
+def test_v1_open_does_hit_the_heap(dual_bundles, heap_reads):
+    # The spy itself must be load-bearing: the v1 path trips it.
+    v1, _ = dual_bundles["CURE"]
+    bundle = open_bundle(v1.root, use_v2=False)
+    try:
+        assert bundle.v2 is None
+        planner = bundle.planner()
+        node = next(iter(v1.schema.lattice.nodes()))
+        planner.answer(QueryRequest.of(node))
+    finally:
+        bundle.close()
+    assert sum(heap_reads.values()) > 0
